@@ -1,0 +1,212 @@
+//! Accelerator hardware configurations.
+//!
+//! The paper evaluates two machines:
+//!
+//! * the **test accelerator** (§III-A): 256 PEs in a 16×16 array at
+//!   200 MHz, 36 KB core-local storage, and either 384 KB SRAM or 1.44 MB
+//!   eDRAM unified buffers (equal area, Table II);
+//! * **DaDianNao** (§V-C): one node with 4096 PEs in a tree, fixed tiling
+//!   `Tm = Tn = 64`, `Tr = Tc = 1`, 36 MB eDRAM, 606 MHz.
+
+use rana_edram::energy::BufferTech;
+use serde::{Deserialize, Serialize};
+
+/// How the 2-D PE array maps work: what its columns parallelize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PeOrganization {
+    /// Rows = output channels, columns = output pixels (the test
+    /// accelerator's Envision-like core, §III-A: "16 rows of PEs share the
+    /// same inputs to compute 16 output channels in parallel").
+    PixelColumns,
+    /// Rows = output channels (neurons), columns = input channels
+    /// (synapses) — DaDianNao's tree-like NFU, which is why its natural
+    /// tiling is `Tm = Tn = 64, Tr = Tc = 1`.
+    ChannelColumns,
+}
+
+/// On-chip unified buffer geometry and technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferConfig {
+    /// SRAM or eDRAM.
+    pub tech: BufferTech,
+    /// Number of independently refreshable banks.
+    pub num_banks: usize,
+    /// 16-bit words per bank (32 KB banks = 16384 words).
+    pub bank_words: usize,
+}
+
+impl BufferConfig {
+    /// Words per bank of a 32 KB bank.
+    pub const WORDS_32KB: usize = 16 * 1024;
+
+    /// The paper's 384 KB SRAM buffer (12 × 32 KB banks).
+    pub fn sram_384kb() -> Self {
+        Self { tech: BufferTech::Sram, num_banks: 12, bank_words: Self::WORDS_32KB }
+    }
+
+    /// The paper's 1.454 MB-class eDRAM buffer in the same area
+    /// (44 × 32 KB banks = 1.442 MB).
+    pub fn edram_1454kb() -> Self {
+        Self { tech: BufferTech::Edram, num_banks: 44, bank_words: Self::WORDS_32KB }
+    }
+
+    /// An eDRAM buffer scaled to `factor` × the paper's capacity
+    /// (the Figure 18 sweep uses 0.25× … 8×).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn edram_scaled(factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite(), "scale factor must be positive");
+        let banks = ((44.0 * factor).round() as usize).max(1);
+        Self { tech: BufferTech::Edram, num_banks: banks, bank_words: Self::WORDS_32KB }
+    }
+
+    /// DaDianNao's 36 MB on-chip eDRAM (modeled as 32 KB banks).
+    pub fn edram_36mb() -> Self {
+        Self { tech: BufferTech::Edram, num_banks: 36 * 1024 / 32, bank_words: Self::WORDS_32KB }
+    }
+
+    /// Total capacity in 16-bit words.
+    pub fn capacity_words(&self) -> u64 {
+        (self.num_banks * self.bank_words) as u64
+    }
+
+    /// Total capacity in decimal megabytes.
+    pub fn capacity_mb(&self) -> f64 {
+        self.capacity_words() as f64 * 2.0 / 1e6
+    }
+}
+
+/// A complete accelerator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// PE rows — output channels computed in parallel.
+    pub pe_rows: usize,
+    /// PE columns — output pixels or input channels in parallel, per
+    /// [`organization`](Self::organization).
+    pub pe_cols: usize,
+    /// What the PE columns parallelize.
+    pub organization: PeOrganization,
+    /// Clock frequency in Hz.
+    pub frequency_hz: f64,
+    /// Core-local input storage `Ri` in words (`Tn·Th·Tl ≤ Ri`).
+    pub local_input_words: usize,
+    /// Core-local output storage `Ro` in words (`Tm·Tr·Tc ≤ Ro`).
+    pub local_output_words: usize,
+    /// Core-local weight storage `Rw` in words (`Tm·Tn·K² ≤ Rw`).
+    pub local_weight_words: usize,
+    /// The unified on-chip buffer.
+    pub buffer: BufferConfig,
+}
+
+impl AcceleratorConfig {
+    /// The SRAM-based test accelerator of §III-A: 256 PEs @ 200 MHz,
+    /// 36 KB local storage (16 KB inputs + 4 KB outputs + 16 KB weights),
+    /// 384 KB SRAM buffer.
+    pub fn paper_sram() -> Self {
+        Self {
+            name: "test-accelerator/SRAM".into(),
+            pe_rows: 16,
+            pe_cols: 16,
+            organization: PeOrganization::PixelColumns,
+            frequency_hz: 200e6,
+            local_input_words: 8 * 1024,
+            local_output_words: 2 * 1024,
+            local_weight_words: 8 * 1024,
+            buffer: BufferConfig::sram_384kb(),
+        }
+    }
+
+    /// The eDRAM-based test accelerator: identical except for the buffer.
+    pub fn paper_edram() -> Self {
+        Self {
+            name: "test-accelerator/eDRAM".into(),
+            buffer: BufferConfig::edram_1454kb(),
+            ..Self::paper_sram()
+        }
+    }
+
+    /// The eDRAM-based test accelerator with a scaled buffer (Figure 18).
+    pub fn paper_edram_scaled(factor: f64) -> Self {
+        Self {
+            name: format!("test-accelerator/eDRAM x{factor}"),
+            buffer: BufferConfig::edram_scaled(factor),
+            ..Self::paper_sram()
+        }
+    }
+
+    /// One DaDianNao node (§V-C): 4096 PEs as a 64×64 array equivalent,
+    /// fixed `Tm = Tn = 64`, `Tr = Tc = 1`, 606 MHz, 36 MB eDRAM. Local
+    /// stores are sized so the fixed tiling always fits.
+    pub fn dadiannao() -> Self {
+        Self {
+            name: "DaDianNao".into(),
+            pe_rows: 64,
+            pe_cols: 64,
+            organization: PeOrganization::ChannelColumns,
+            frequency_hz: 606e6,
+            local_input_words: 256 * 1024,
+            local_output_words: 64 * 1024,
+            local_weight_words: 256 * 1024,
+            buffer: BufferConfig::edram_36mb(),
+        }
+    }
+
+    /// Number of MAC units (`pe_rows × pe_cols`).
+    pub fn mac_count(&self) -> usize {
+        self.pe_rows * self.pe_cols
+    }
+
+    /// Converts a cycle count to microseconds.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.frequency_hz * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_platform_numbers() {
+        let cfg = AcceleratorConfig::paper_sram();
+        assert_eq!(cfg.mac_count(), 256);
+        assert_eq!(cfg.buffer.capacity_words() * 2, 384 * 1024);
+        // 36 KB local storage.
+        let local = cfg.local_input_words + cfg.local_output_words + cfg.local_weight_words;
+        assert_eq!(local * 2, 36 * 1024);
+    }
+
+    #[test]
+    fn edram_capacity_close_to_paper() {
+        let mb = BufferConfig::edram_1454kb().capacity_mb();
+        assert!((mb - 1.454).abs() < 0.02, "capacity {mb} MB");
+    }
+
+    #[test]
+    fn scaled_buffers() {
+        assert_eq!(BufferConfig::edram_scaled(0.25).num_banks, 11);
+        assert_eq!(BufferConfig::edram_scaled(1.0).num_banks, 44);
+        assert_eq!(BufferConfig::edram_scaled(8.0).num_banks, 352);
+        let mb = BufferConfig::edram_scaled(8.0).capacity_mb();
+        assert!((mb - 11.632).abs() < 0.15, "8x capacity {mb} MB");
+    }
+
+    #[test]
+    fn dadiannao_numbers() {
+        let cfg = AcceleratorConfig::dadiannao();
+        assert_eq!(cfg.mac_count(), 4096);
+        assert_eq!(cfg.buffer.capacity_words() * 2, 36 * 1024 * 1024);
+        assert!((cfg.cycles_to_us(606) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let cfg = AcceleratorConfig::paper_sram();
+        assert!((cfg.cycles_to_us(200) - 1.0).abs() < 1e-12);
+        assert!((cfg.cycles_to_us(458_752) - 2293.76).abs() < 0.01);
+    }
+}

@@ -1,0 +1,155 @@
+//! Off-chip DDR3 bandwidth model.
+//!
+//! The paper's energy model charges 2112.9 pJ per 16-bit DDR3 access
+//! (Table III) but evaluates performance assuming the memory system keeps
+//! up ("the performance loss is negligible"). This module adds the timing
+//! side: a DDR3 channel with a peak transfer rate and an achievable
+//! efficiency, and a per-layer performance summary where execution time is
+//! the maximum of compute time and transfer time (double-buffered
+//! overlap). It quantifies *when* the paper's performance assumption holds
+//! — and the bandwidth ablation (`exp_ablation`) shows where it breaks.
+
+use crate::analysis::LayerSim;
+use serde::{Deserialize, Serialize};
+
+/// A DDR3 channel.
+///
+/// # Example
+///
+/// ```
+/// use rana_accel::dram::Ddr3Model;
+/// let ddr = Ddr3Model::ddr3_1600();
+/// assert_eq!(ddr.peak_bandwidth(), 12.8e9);
+/// // 1 MB at 70% efficiency: ~112 µs.
+/// assert!((ddr.transfer_time_us(500_000) - 111.6).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ddr3Model {
+    /// I/O bus clock in Hz (data moves on both edges).
+    pub io_clock_hz: f64,
+    /// Bus width in bytes (8 for a ×64 DIMM).
+    pub bus_bytes: usize,
+    /// Achievable fraction of the peak rate (row misses, refresh,
+    /// read/write turnaround); 0.7 is a common planning number.
+    pub efficiency: f64,
+}
+
+impl Ddr3Model {
+    /// DDR3-1600 (800 MHz I/O clock, ×64, 12.8 GB/s peak).
+    pub fn ddr3_1600() -> Self {
+        Self { io_clock_hz: 800e6, bus_bytes: 8, efficiency: 0.7 }
+    }
+
+    /// DDR3-800 — a half-rate channel for sensitivity studies.
+    pub fn ddr3_800() -> Self {
+        Self { io_clock_hz: 400e6, bus_bytes: 8, efficiency: 0.7 }
+    }
+
+    /// Peak bandwidth in bytes per second.
+    pub fn peak_bandwidth(&self) -> f64 {
+        self.io_clock_hz * 2.0 * self.bus_bytes as f64
+    }
+
+    /// Achievable bandwidth in bytes per second.
+    pub fn achievable_bandwidth(&self) -> f64 {
+        self.peak_bandwidth() * self.efficiency
+    }
+
+    /// Time to move `words` 16-bit words, in µs.
+    pub fn transfer_time_us(&self, words: u64) -> f64 {
+        words as f64 * 2.0 / self.achievable_bandwidth() * 1e6
+    }
+
+    /// A model scaled to `factor` × this channel's rate.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self { io_clock_hz: self.io_clock_hz * factor, ..*self }
+    }
+}
+
+impl Default for Ddr3Model {
+    fn default() -> Self {
+        Self::ddr3_1600()
+    }
+}
+
+/// Timing of one layer under a bandwidth constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerPerformance {
+    /// Pure compute time (the analytic `time_us`).
+    pub compute_us: f64,
+    /// Off-chip transfer time at the achievable bandwidth.
+    pub dram_us: f64,
+    /// Wall-clock with perfect double buffering: `max(compute, dram)`.
+    pub total_us: f64,
+}
+
+impl LayerPerformance {
+    /// Evaluates a layer's timing against a DDR3 channel.
+    pub fn of(sim: &LayerSim, ddr: &Ddr3Model) -> Self {
+        let compute_us = sim.time_us;
+        let dram_us = ddr.transfer_time_us(sim.traffic.dram_total());
+        Self { compute_us, dram_us, total_us: compute_us.max(dram_us) }
+    }
+
+    /// Whether the layer is limited by the memory system.
+    pub fn memory_bound(&self) -> bool {
+        self.dram_us > self.compute_us
+    }
+
+    /// Slowdown over the pure-compute time (1.0 = fully overlapped).
+    pub fn slowdown(&self) -> f64 {
+        self.total_us / self.compute_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::config::AcceleratorConfig;
+    use crate::layer::SchedLayer;
+    use crate::pattern::{Pattern, Tiling};
+
+    #[test]
+    fn ddr3_1600_rates() {
+        let d = Ddr3Model::ddr3_1600();
+        assert!((d.peak_bandwidth() - 12.8e9).abs() < 1e3);
+        // 1M words = 2 MB at 8.96 GB/s achievable = ~223 us.
+        let t = d.transfer_time_us(1_000_000);
+        assert!((t - 223.2).abs() < 1.0, "transfer {t} us");
+    }
+
+    #[test]
+    fn compute_bound_conv_layer() {
+        // VGG conv4_2 on the eDRAM platform: 1.85 GMACs vs ~10 MB of
+        // traffic — decisively compute-bound at DDR3-1600.
+        let cfg = AcceleratorConfig::paper_edram();
+        let l = SchedLayer::from_conv(rana_zoo::vgg16().conv("conv4_2").unwrap());
+        let sim = analyze(&l, Pattern::Od, Tiling::new(16, 16, 1, 16), &cfg);
+        let p = LayerPerformance::of(&sim, &Ddr3Model::ddr3_1600());
+        assert!(!p.memory_bound(), "compute {} vs dram {}", p.compute_us, p.dram_us);
+        assert!((p.slowdown() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spilling_od_layer_becomes_memory_bound_on_slow_channel() {
+        // VGG conv1_2 under OD spills partial sums; on a crippled channel
+        // the spill traffic dominates the wall clock.
+        let cfg = AcceleratorConfig::paper_edram();
+        let l = SchedLayer::from_conv(rana_zoo::vgg16().conv("conv1_2").unwrap());
+        let sim = analyze(&l, Pattern::Od, Tiling::new(16, 16, 1, 16), &cfg);
+        assert!(!sim.fits_buffer);
+        let slow = Ddr3Model::ddr3_1600().scaled(0.1);
+        let p = LayerPerformance::of(&sim, &slow);
+        assert!(p.memory_bound());
+        assert!(p.slowdown() > 1.5, "slowdown {}", p.slowdown());
+    }
+
+    #[test]
+    fn scaling_the_channel() {
+        let d = Ddr3Model::ddr3_1600();
+        let double = d.scaled(2.0);
+        assert!((double.transfer_time_us(1000) - d.transfer_time_us(1000) / 2.0).abs() < 1e-9);
+        assert!((Ddr3Model::ddr3_800().peak_bandwidth() - 6.4e9).abs() < 1e3);
+    }
+}

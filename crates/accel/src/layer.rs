@@ -1,0 +1,126 @@
+//! Scheduling view of a CONV layer.
+//!
+//! Grouped convolutions (AlexNet conv2/4/5) execute as `groups` independent
+//! sub-convolutions of `N/g` input and `M/g` output channels; the simulator
+//! models one group and scales all counts, so [`SchedLayer`] carries the
+//! *per-group* channel counts plus the group count.
+
+use rana_zoo::ConvShape;
+use serde::{Deserialize, Serialize};
+
+/// A CONV layer as the scheduler and simulator see it (per channel group).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SchedLayer {
+    /// Layer name.
+    pub name: String,
+    /// Input channels per group (`N`).
+    pub n: usize,
+    /// Input feature-map height (`H`).
+    pub h: usize,
+    /// Input feature-map width (`L`).
+    pub l: usize,
+    /// Output channels per group (`M`).
+    pub m: usize,
+    /// Kernel size (`K`).
+    pub k: usize,
+    /// Stride (`S`).
+    pub s: usize,
+    /// Output rows (`R`).
+    pub r: usize,
+    /// Output columns (`C`).
+    pub c: usize,
+    /// Symmetric zero padding (needed by the functional engine; the
+    /// analytic models only consume `R`/`C`).
+    pub pad: usize,
+    /// Channel groups (counts scale linearly with this).
+    pub groups: usize,
+}
+
+impl SchedLayer {
+    /// Builds the scheduling view of a CONV shape.
+    pub fn from_conv(shape: &ConvShape) -> Self {
+        Self {
+            name: shape.name.clone(),
+            n: shape.in_ch_per_group(),
+            h: shape.in_h,
+            l: shape.in_w,
+            m: shape.out_ch / shape.groups,
+            k: shape.kernel,
+            s: shape.stride,
+            r: shape.out_h(),
+            c: shape.out_w(),
+            pad: shape.pad,
+            groups: shape.groups,
+        }
+    }
+
+    /// MACs per group: `M·N·R·C·K²`.
+    pub fn macs_per_group(&self) -> u64 {
+        (self.m * self.r * self.c) as u64 * (self.n * self.k * self.k) as u64
+    }
+
+    /// Total MACs over all groups.
+    pub fn total_macs(&self) -> u64 {
+        self.macs_per_group() * self.groups as u64
+    }
+
+    /// Total input words `N·H·L` (all groups).
+    pub fn input_words(&self) -> u64 {
+        (self.n * self.h * self.l * self.groups) as u64
+    }
+
+    /// Total output words `M·R·C` (all groups).
+    pub fn output_words(&self) -> u64 {
+        (self.m * self.r * self.c * self.groups) as u64
+    }
+
+    /// Total weight words `M·N·K²` (all groups).
+    pub fn weight_words(&self) -> u64 {
+        (self.m * self.n * self.k * self.k * self.groups) as u64
+    }
+
+    /// Input rows covered by `tr` output rows: `(tr−1)·S + K`, clamped to
+    /// the feature map.
+    pub fn tile_in_h(&self, tr: usize) -> usize {
+        (((tr.max(1) - 1) * self.s) + self.k).min(self.h + 2)
+    }
+
+    /// Input columns covered by `tc` output columns, clamped.
+    pub fn tile_in_w(&self, tc: usize) -> usize {
+        (((tc.max(1) - 1) * self.s) + self.k).min(self.l + 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rana_zoo::{resnet50, vgg16};
+
+    #[test]
+    fn layer_a_view() {
+        let net = resnet50();
+        let a = SchedLayer::from_conv(net.conv("res4a_branch1").unwrap());
+        assert_eq!((a.n, a.m, a.k, a.s, a.r, a.c, a.groups), (512, 1024, 1, 2, 14, 14, 1));
+        assert_eq!(a.total_macs(), 1024 * 512 * 14 * 14);
+        assert_eq!(a.input_words(), 512 * 28 * 28);
+    }
+
+    #[test]
+    fn grouped_layer_scales() {
+        let net = rana_zoo::alexnet();
+        let c2 = SchedLayer::from_conv(net.conv("conv2").unwrap());
+        assert_eq!((c2.n, c2.m, c2.groups), (48, 128, 2));
+        assert_eq!(c2.total_macs(), net.conv("conv2").unwrap().macs());
+        assert_eq!(c2.weight_words(), net.conv("conv2").unwrap().weight_words());
+        assert_eq!(c2.input_words(), net.conv("conv2").unwrap().input_words());
+    }
+
+    #[test]
+    fn halo_clamped_to_map() {
+        let net = vgg16();
+        let b = SchedLayer::from_conv(net.conv("conv4_2").unwrap());
+        assert_eq!(b.tile_in_h(1), 3);
+        assert_eq!(b.tile_in_h(28), 30); // full map + halo
+        assert_eq!(b.tile_in_h(100), 30); // clamped
+    }
+}

@@ -1,0 +1,231 @@
+//! Computation patterns and tilings (paper Figure 10).
+//!
+//! A pattern is an ordering of the memory-control loops `M`, `RC`, `N`
+//! around the fixed core-computing part. The three orderings the paper
+//! analyzes:
+//!
+//! | pattern | 3rd (outer) | 2nd | 1st (inner) | resident data |
+//! |---------|-------------|-----|-------------|----------------|
+//! | ID      | `M`         | `RC`| `N`         | all inputs     |
+//! | OD      | `N`         | `M` | `RC`        | all outputs    |
+//! | WD      | `RC`        | `M` | `N`         | all weights    |
+
+use crate::config::AcceleratorConfig;
+use crate::layer::SchedLayer;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Loop dimensions of the memory-control part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoopDim {
+    /// Output-channel loop.
+    M,
+    /// Output-pixel loop (rows × columns, one level).
+    Rc,
+    /// Input-channel loop.
+    N,
+}
+
+/// A computation pattern: the loop order of the memory-control part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Input dominant: `M` outermost (the typical pattern, Figure 3(b)).
+    Id,
+    /// Output dominant: `N` outermost, outputs self-refresh by accumulation.
+    Od,
+    /// Weight dominant: `RC` outermost, all weights resident.
+    Wd,
+}
+
+impl Pattern {
+    /// All three patterns.
+    pub const ALL: [Pattern; 3] = [Pattern::Id, Pattern::Od, Pattern::Wd];
+
+    /// The patterns RANA's scheduler explores (§IV-C3 excludes ID: its
+    /// lifetime is always longer than OD's and its storage similar).
+    pub const RANA_SPACE: [Pattern; 2] = [Pattern::Od, Pattern::Wd];
+
+    /// Loop order outermost → innermost.
+    pub fn loop_order(&self) -> [LoopDim; 3] {
+        match self {
+            Pattern::Id => [LoopDim::M, LoopDim::Rc, LoopDim::N],
+            Pattern::Od => [LoopDim::N, LoopDim::M, LoopDim::Rc],
+            Pattern::Wd => [LoopDim::Rc, LoopDim::M, LoopDim::N],
+        }
+    }
+
+    /// Loop level (1 = innermost … 3 = outermost) of a dimension.
+    pub fn level_of(&self, dim: LoopDim) -> usize {
+        let order = self.loop_order();
+        3 - order.iter().position(|&d| d == dim).expect("all dims present")
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Id => write!(f, "ID"),
+            Pattern::Od => write!(f, "OD"),
+            Pattern::Wd => write!(f, "WD"),
+        }
+    }
+}
+
+/// Tiling parameters `⟨Tm, Tn, Tr, Tc⟩` of the core computing part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tiling {
+    /// Output channels per tile.
+    pub tm: usize,
+    /// Input channels per tile.
+    pub tn: usize,
+    /// Output rows per tile.
+    pub tr: usize,
+    /// Output columns per tile.
+    pub tc: usize,
+}
+
+impl Tiling {
+    /// Creates a tiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(tm: usize, tn: usize, tr: usize, tc: usize) -> Self {
+        assert!(tm > 0 && tn > 0 && tr > 0 && tc > 0, "tiling parameters must be positive");
+        Self { tm, tn, tr, tc }
+    }
+
+    /// Clamps the tiling to a layer's dimensions.
+    pub fn clamped_to(&self, layer: &SchedLayer) -> Self {
+        Self {
+            tm: self.tm.min(layer.m),
+            tn: self.tn.min(layer.n),
+            tr: self.tr.min(layer.r),
+            tc: self.tc.min(layer.c),
+        }
+    }
+
+    /// Whether the tiling satisfies the core-local storage constraints of
+    /// §IV-C3: `Tn·Th·Tl ≤ Ri`, `Tm·Tr·Tc ≤ Ro`, `Tm·Tn·K² ≤ Rw`.
+    pub fn fits_core(&self, layer: &SchedLayer, cfg: &AcceleratorConfig) -> bool {
+        let t = self.clamped_to(layer);
+        let th = layer.tile_in_h(t.tr);
+        let tl = layer.tile_in_w(t.tc);
+        t.tn * th * tl <= cfg.local_input_words
+            && t.tm * t.tr * t.tc <= cfg.local_output_words
+            && t.tm * t.tn * layer.k * layer.k <= cfg.local_weight_words
+    }
+
+    /// Trip counts `(TM, TN, TR, TC)` for a layer (ceiling division).
+    pub fn trips(&self, layer: &SchedLayer) -> (usize, usize, usize, usize) {
+        let t = self.clamped_to(layer);
+        (
+            layer.m.div_ceil(t.tm),
+            layer.n.div_ceil(t.tn),
+            layer.r.div_ceil(t.tr),
+            layer.c.div_ceil(t.tc),
+        )
+    }
+
+    /// Candidate tilings for a layer on an accelerator: powers of two (plus
+    /// the exact dimension) per axis, filtered by the core-local storage
+    /// constraints.
+    pub fn candidates(layer: &SchedLayer, cfg: &AcceleratorConfig) -> Vec<Tiling> {
+        let axis = |limit: usize| {
+            let mut v: Vec<usize> = std::iter::successors(Some(1usize), |&x| Some(x * 2))
+                .take_while(|&x| x < limit)
+                .collect();
+            v.push(limit);
+            v
+        };
+        let mut out = Vec::new();
+        for &tm in &axis(layer.m.min(cfg.local_output_words)) {
+            for &tn in &axis(layer.n) {
+                if tm * tn * layer.k * layer.k > cfg.local_weight_words {
+                    continue;
+                }
+                for &tr in &axis(layer.r) {
+                    for &tc in &axis(layer.c) {
+                        let t = Tiling::new(tm, tn, tr, tc);
+                        if t.fits_core(layer, cfg) {
+                            out.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Tiling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<Tm={},Tn={},Tr={},Tc={}>", self.tm, self.tn, self.tr, self.tc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rana_zoo::resnet50;
+
+    fn layer_a() -> SchedLayer {
+        SchedLayer::from_conv(resnet50().conv("res4a_branch1").unwrap())
+    }
+
+    #[test]
+    fn loop_orders_match_figure_10() {
+        assert_eq!(Pattern::Id.loop_order(), [LoopDim::M, LoopDim::Rc, LoopDim::N]);
+        assert_eq!(Pattern::Od.loop_order(), [LoopDim::N, LoopDim::M, LoopDim::Rc]);
+        assert_eq!(Pattern::Wd.loop_order(), [LoopDim::Rc, LoopDim::M, LoopDim::N]);
+        assert_eq!(Pattern::Od.level_of(LoopDim::N), 3);
+        assert_eq!(Pattern::Od.level_of(LoopDim::Rc), 1);
+    }
+
+    #[test]
+    fn clamping() {
+        let t = Tiling::new(64, 64, 64, 64).clamped_to(&layer_a());
+        assert_eq!((t.tm, t.tn, t.tr, t.tc), (64, 64, 14, 14));
+    }
+
+    #[test]
+    fn trips_use_ceiling() {
+        let (tm, tn, tr, tc) = Tiling::new(16, 16, 1, 16).trips(&layer_a());
+        assert_eq!((tm, tn, tr, tc), (64, 32, 14, 1));
+        let b = SchedLayer::from_conv(rana_zoo::vgg16().conv("conv4_2").unwrap());
+        let (_, _, _, tc) = Tiling::new(16, 16, 1, 16).trips(&b);
+        assert_eq!(tc, 2); // 28 / 16 -> 2 tiles (16 + 12)
+    }
+
+    #[test]
+    fn core_constraints_filter() {
+        let cfg = AcceleratorConfig::paper_sram();
+        let l = layer_a();
+        assert!(Tiling::new(16, 16, 1, 16).fits_core(&l, &cfg));
+        // Tm·Tr·Tc = 16·14·14 = 3136 > Ro (2048).
+        assert!(!Tiling::new(16, 16, 14, 14).fits_core(&l, &cfg));
+        // Tm·Tn·K² = 128·64·1 = 8192 = Rw: fits exactly.
+        assert!(Tiling::new(128, 64, 1, 16).fits_core(&l, &cfg));
+    }
+
+    #[test]
+    fn candidates_nonempty_and_valid() {
+        let cfg = AcceleratorConfig::paper_sram();
+        for net in rana_zoo::benchmarks() {
+            for conv in net.conv_layers() {
+                let l = SchedLayer::from_conv(conv);
+                let cands = Tiling::candidates(&l, &cfg);
+                assert!(!cands.is_empty(), "no candidates for {}", l.name);
+                for t in &cands {
+                    assert!(t.fits_core(&l, &cfg), "invalid candidate {t} for {}", l.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_display() {
+        assert_eq!(Pattern::Od.to_string(), "OD");
+        assert_eq!(Tiling::new(16, 8, 1, 16).to_string(), "<Tm=16,Tn=8,Tr=1,Tc=16>");
+    }
+}

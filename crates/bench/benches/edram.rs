@@ -1,0 +1,52 @@
+//! Criterion microbenchmarks of the eDRAM substrate: retention-curve
+//! lookups (hot in refresh accounting), functional array access with fault
+//! resolution, and bank refresh.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rana_edram::{controller::RefreshIssuer, EdramArray, RefreshConfig, RetentionDistribution};
+use std::hint::black_box;
+
+fn edram_benches(c: &mut Criterion) {
+    let dist = RetentionDistribution::kong2008();
+    c.bench_function("retention/failure_rate", |b| {
+        b.iter(|| dist.failure_rate(black_box(500.0)))
+    });
+    c.bench_function("retention/tolerable_retention", |b| {
+        b.iter(|| dist.tolerable_retention_us(black_box(1e-5)))
+    });
+
+    c.bench_function("array/write_read_fresh", |b| {
+        let mut mem = EdramArray::new(4, 4096, dist.clone(), 7);
+        let mut addr = 0usize;
+        b.iter(|| {
+            addr = (addr + 1) % 16384;
+            mem.write(addr, 0x55AA, 0.0);
+            black_box(mem.read(addr, 10.0))
+        })
+    });
+
+    c.bench_function("array/read_aged", |b| {
+        let mut mem = EdramArray::new(4, 4096, dist.clone(), 7);
+        for a in 0..16384 {
+            mem.write(a, 0x55AA, 0.0);
+        }
+        let mut addr = 0usize;
+        b.iter(|| {
+            addr = (addr + 1) % 16384;
+            black_box(mem.read(addr, 5000.0))
+        })
+    });
+
+    c.bench_function("issuer/advance_1ms", |b| {
+        b.iter(|| {
+            let mut mem = EdramArray::new(2, 1024, dist.clone(), 3);
+            mem.write(0, 1, 0.0);
+            let mut issuer = RefreshIssuer::new(RefreshConfig::conventional(45.0));
+            issuer.advance(&mut mem, 1000.0);
+            black_box(issuer.issued_words())
+        })
+    });
+}
+
+criterion_group!(benches, edram_benches);
+criterion_main!(benches);

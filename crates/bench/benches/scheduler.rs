@@ -1,0 +1,34 @@
+//! Criterion microbenchmarks of RANA's Stage-2 scheduler: how fast the
+//! pattern × tiling exploration (Figure 13) runs per layer and per
+//! network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rana_accel::{AcceleratorConfig, RefreshModel, SchedLayer};
+use rana_core::scheduler::Scheduler;
+use std::hint::black_box;
+
+fn scheduler_benches(c: &mut Criterion) {
+    let sched = Scheduler::rana(AcceleratorConfig::paper_edram(), RefreshModel::conventional_45us());
+    let resnet = rana_zoo::resnet50();
+    let layer_a = SchedLayer::from_conv(resnet.conv("res4a_branch1").unwrap());
+    let vgg = rana_zoo::vgg16();
+    let layer_b = SchedLayer::from_conv(vgg.conv("conv4_2").unwrap());
+
+    c.bench_function("schedule_layer/layer_a", |b| {
+        b.iter(|| sched.schedule_layer(black_box(&layer_a)))
+    });
+    c.bench_function("schedule_layer/layer_b", |b| {
+        b.iter(|| sched.schedule_layer(black_box(&layer_b)))
+    });
+    let mut slow = c.benchmark_group("schedule_network");
+    slow.sample_size(10);
+    slow.bench_function("alexnet", |b| {
+        let net = rana_zoo::alexnet();
+        b.iter(|| sched.schedule_network(black_box(&net)))
+    });
+    slow.bench_function("resnet50", |b| b.iter(|| sched.schedule_network(black_box(&resnet))));
+    slow.finish();
+}
+
+criterion_group!(benches, scheduler_benches);
+criterion_main!(benches);

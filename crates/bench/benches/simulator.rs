@@ -1,0 +1,60 @@
+//! Criterion microbenchmarks of the accelerator simulator: the closed-form
+//! analysis (used millions of times by the scheduler) vs the tile-trace
+//! engine (used for validation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rana_accel::{analyze, trace::trace, AcceleratorConfig, Pattern, SchedLayer, Tiling};
+use std::hint::black_box;
+
+fn simulator_benches(c: &mut Criterion) {
+    let cfg = AcceleratorConfig::paper_edram();
+    let net = rana_zoo::vgg16();
+    let layer_b = SchedLayer::from_conv(net.conv("conv4_2").unwrap());
+    let tiling = Tiling::new(16, 16, 1, 16);
+
+    for pattern in Pattern::ALL {
+        c.bench_function(&format!("analyze/layer_b/{pattern}"), |b| {
+            b.iter(|| analyze(black_box(&layer_b), pattern, tiling, &cfg))
+        });
+    }
+    c.bench_function("trace/layer_b/OD", |b| {
+        b.iter(|| trace(black_box(&layer_b), Pattern::Od, tiling, &cfg))
+    });
+    c.bench_function("analyze/whole_resnet/OD", |b| {
+        let resnet = rana_zoo::resnet50();
+        b.iter(|| {
+            resnet
+                .conv_layers()
+                .map(|conv| analyze(&SchedLayer::from_conv(conv), Pattern::Od, tiling, &cfg).cycles)
+                .sum::<u64>()
+        })
+    });
+
+    // Functional execution of a small layer with the charge-level buffer.
+    c.bench_function("exec/functional_small_layer", |b| {
+        use rana_accel::exec::{execute_layer, BufferModel, Formats};
+        use rana_edram::RetentionDistribution;
+        let layer = SchedLayer {
+            name: "bench".into(),
+            n: 4,
+            h: 8,
+            l: 8,
+            m: 6,
+            k: 3,
+            s: 1,
+            r: 8,
+            c: 8,
+            pad: 1,
+            groups: 1,
+        };
+        let inputs: Vec<i16> = (0..4 * 64).map(|i| (i % 251) as i16).collect();
+        let weights: Vec<i16> = (0..6 * 4 * 9).map(|i| (i % 127) as i16).collect();
+        let model = BufferModel::Edram { dist: RetentionDistribution::kong2008(), seed: 1, refresh: None };
+        b.iter(|| {
+            execute_layer(&layer, Pattern::Od, Tiling::new(16, 16, 1, 16), &cfg, &inputs, &weights, Formats::default(), &model)
+        })
+    });
+}
+
+criterion_group!(benches, simulator_benches);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion microbenchmarks of the fixed-point training substrate: one
+//! SGD step per mini model, and the fault-injection mask itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rana_fixq::BitErrorModel;
+use rana_nn::data::SyntheticDataset;
+use rana_nn::layers::{Layer, SoftmaxCrossEntropy};
+use rana_nn::models::mini_benchmarks;
+use rana_nn::FaultContext;
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn training_benches(c: &mut Criterion) {
+    let data = SyntheticDataset::new(4, 16, 9);
+    let (x, labels) = data.batches(16).remove(0);
+    let loss = SoftmaxCrossEntropy::new();
+
+    for (name, make) in mini_benchmarks() {
+        c.bench_function(&format!("sgd_step/{name}"), |b| {
+            let mut net = make(4, 1);
+            b.iter(|| {
+                let mut ctx = FaultContext::new(1e-3, 5);
+                let logits = net.forward(black_box(&x), &mut ctx);
+                let (_, grad) = loss.loss_and_grad(&logits, &labels);
+                net.backward(&grad);
+                net.update(0.05);
+            })
+        });
+    }
+
+    c.bench_function("fault_mask/64k_words_rate_1e-3", |b| {
+        let model = BitErrorModel::new(1e-3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut words = vec![0i16; 65536];
+        b.iter(|| black_box(model.inject(&mut words, &mut rng)))
+    });
+}
+
+criterion_group!(benches, training_benches);
+criterion_main!(benches);

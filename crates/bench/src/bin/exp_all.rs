@@ -1,0 +1,35 @@
+//! Runs every table/figure experiment in order (Figure 11 in its quick
+//! reference-only mode; run `exp_fig11` separately for the live training).
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let experiments: &[(&str, &[&str])] = &[
+        ("exp_table1", &[]),
+        ("exp_table2", &[]),
+        ("exp_table3", &[]),
+        ("exp_fig01", &[]),
+        ("exp_fig07", &[]),
+        ("exp_fig08", &[]),
+        ("exp_fig11", &["--skip-train"]),
+        ("exp_fig12", &[]),
+        ("exp_fig15", &[]),
+        ("exp_fig16", &[]),
+        ("exp_fig17", &[]),
+        ("exp_fig18", &[]),
+        ("exp_fig19", &[]),
+        ("exp_ablation", &[]),
+        ("exp_sensitivity", &[]),
+    ];
+    for (name, args) in experiments {
+        let status = Command::new(dir.join(name))
+            .args(*args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        assert!(status.success(), "{name} failed");
+        println!();
+    }
+    println!("All experiments completed.");
+}

@@ -1,0 +1,50 @@
+//! Figure 1 — energy consumption breakdown of ResNet on the evaluation
+//! platform (the eDRAM-buffered accelerator with conventional refresh,
+//! eD+ID), showing that refresh is a first-class energy consumer.
+
+use rana_bench::banner;
+use rana_core::energy::EnergyBreakdown;
+use rana_core::{designs::Design, evaluate::Evaluator};
+
+fn main() {
+    banner("Figure 1", "Energy breakdown of ResNet on the eDRAM platform (eD+ID)");
+    let eval = Evaluator::paper_platform();
+    let net = rana_zoo::resnet50();
+    let result = eval.evaluate(&net, Design::EdId);
+
+    // Aggregate per ResNet stage, as the figure's x axis groups layers.
+    let stages = ["conv1", "res2", "res3", "res4", "res5"];
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "compute%", "buffer%", "refresh%", "offchip%"
+    );
+    for stage in stages {
+        let mut sum = EnergyBreakdown::default();
+        for l in &result.schedule.layers {
+            if l.sim.layer.starts_with(stage) {
+                sum += l.energy;
+            }
+        }
+        let t = sum.total_j();
+        println!(
+            "{stage:<8} {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}%",
+            sum.computing_j / t * 100.0,
+            sum.buffer_j / t * 100.0,
+            sum.refresh_j / t * 100.0,
+            sum.offchip_j / t * 100.0
+        );
+    }
+    let t = result.total.total_j();
+    println!(
+        "{:<8} {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}%",
+        "TOTAL",
+        result.total.computing_j / t * 100.0,
+        result.total.buffer_j / t * 100.0,
+        result.total.refresh_j / t * 100.0,
+        result.total.offchip_j / t * 100.0
+    );
+    println!(
+        "\nRefresh takes {:.1}% of total system energy (the paper's motivation: 'a quite large part').",
+        result.total.refresh_j / t * 100.0
+    );
+}

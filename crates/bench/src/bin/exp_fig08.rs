@@ -1,0 +1,23 @@
+//! Figure 8 — typical eDRAM retention-time distribution (after Kong et
+//! al., ITC 2008): cumulative failure rate vs retention time, with the
+//! paper's two anchor callouts.
+
+use rana_bench::banner;
+use rana_edram::RetentionDistribution;
+
+fn main() {
+    banner("Figure 8", "eDRAM retention time distribution");
+    let d = RetentionDistribution::kong2008();
+    println!("{:>14} {:>16}", "retention (us)", "failure rate");
+    let mut t = 20.0;
+    while t <= 30_000.0 {
+        println!("{t:>14.0} {:>16.3e}", d.failure_rate(t));
+        t *= 1.5;
+    }
+    println!("\nCallouts:");
+    println!("  45 us  -> {:.1e}   (weakest cell of a 32KB bank)", d.failure_rate(45.0));
+    println!("  734 us -> {:.1e}   (16x interval at 1e-5)", d.failure_rate(734.0));
+    for rate in [1e-5f64, 1e-4, 1e-3, 1e-2, 1e-1] {
+        println!("  tolerable retention at rate {rate:>7.0e}: {:>9.0} us", d.tolerable_retention_us(rate));
+    }
+}

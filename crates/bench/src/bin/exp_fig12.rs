@@ -1,0 +1,28 @@
+//! Figure 12 — layer size analysis of ResNet (16-bit precision,
+//! 224×224×3 input): per-layer input/output/weight storage, showing that
+//! inputs/outputs dominate shallow layers and weights dominate deep ones.
+
+use rana_bench::banner;
+use rana_zoo::stats::{layer_sizes, words_to_kb};
+
+fn main() {
+    banner("Figure 12", "Layer size analysis of ResNet (16-bit)");
+    let net = rana_zoo::resnet50();
+    println!("{:<18} {:>12} {:>12} {:>12} {:>12}", "layer", "in (KB)", "out (KB)", "w (KB)", "total (KB)");
+    for l in layer_sizes(&net) {
+        println!(
+            "{:<18} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
+            l.name,
+            words_to_kb(l.inputs),
+            words_to_kb(l.outputs),
+            words_to_kb(l.weights),
+            words_to_kb(l.total())
+        );
+    }
+    let cap_kb = 1.454e6 / 1024.0;
+    let over = layer_sizes(&net)
+        .iter()
+        .filter(|l| words_to_kb(l.outputs) > cap_kb)
+        .count();
+    println!("\n{over} layers' outputs alone exceed the 1.454 MB eDRAM buffer (the WD motivation, §IV-C2).");
+}

@@ -1,0 +1,67 @@
+//! Figure 16 — accelerator energy (excluding off-chip access) of eD+ID,
+//! eD+OD and RANA(0) on ResNet as the retention time sweeps from 45 µs to
+//! 1440 µs, normalized to eD+ID at 45 µs.
+
+use rana_accel::{ControllerKind, RefreshModel};
+use rana_bench::{banner, pct};
+use rana_core::{designs::Design, evaluate::Evaluator};
+
+fn main() {
+    banner("Figure 16", "ResNet accelerator energy vs retention time (no off-chip)");
+    let eval = Evaluator::paper_platform();
+    let net = rana_zoo::resnet50();
+    let designs = [Design::EdId, Design::EdOd, Design::Rana0];
+    let rts = [45.0, 90.0, 180.0, 360.0, 720.0, 1440.0];
+
+    let base = eval
+        .evaluate_with_refresh(&net, Design::EdId, RefreshModel::conventional_45us())
+        .total
+        .accelerator_j();
+
+    println!("{:<10} {:>12} {:>14} {:>14}", "RT (us)", "design", "accel (norm)", "refresh (norm)");
+    let mut csv = Vec::new();
+    let mut refresh_at = |d: Design, rt: f64| -> f64 {
+        let r = eval.evaluate_with_refresh(
+            &net,
+            d,
+            RefreshModel { interval_us: rt, kind: ControllerKind::Conventional },
+        );
+        println!(
+            "{rt:<10} {:>12} {:>14.3} {:>14.3}",
+            d.label(),
+            r.total.accelerator_j() / base,
+            r.total.refresh_j / base
+        );
+        csv.push(format!(
+            "{rt},{},{:.6},{:.6}",
+            d.label(),
+            r.total.accelerator_j() / base,
+            r.total.refresh_j / base
+        ));
+        r.total.refresh_j
+    };
+    let mut ed_id_refresh = Vec::new();
+    let mut ed_od_refresh = Vec::new();
+    for rt in rts {
+        for d in designs {
+            let refresh = refresh_at(d, rt);
+            match d {
+                Design::EdId => ed_id_refresh.push(refresh),
+                Design::EdOd => ed_od_refresh.push(refresh),
+                _ => {}
+            }
+        }
+        println!();
+    }
+    rana_bench::write_csv("fig16_retention_sweep.csv", "rt_us,design,accel_norm,refresh_norm", &csv);
+
+    // The paper's 90 -> 180 µs observation.
+    println!(
+        "eD+ID refresh 90->180 us: {}   (paper: -50.0%, pure interval effect)",
+        pct(ed_id_refresh[1], ed_id_refresh[2])
+    );
+    println!(
+        "eD+OD refresh 90->180 us: {}   (paper: -80.1%, layers crossing 'lifetime < RT')",
+        pct(ed_od_refresh[1], ed_od_refresh[2])
+    );
+}

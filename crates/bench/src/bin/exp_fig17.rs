@@ -1,0 +1,39 @@
+//! Figure 17 — layerwise system energy on VGG: eD+OD vs RANA(0), each
+//! layer normalized to eD+OD. RANA(0) picks WD on the wide shallow layers
+//! whose OD storage exceeds the eDRAM capacity, removing the partial-sum
+//! spill traffic.
+
+use rana_bench::{banner, pct};
+use rana_core::{designs::Design, evaluate::Evaluator};
+
+fn main() {
+    banner("Figure 17", "Layerwise VGG system energy: eD+OD vs RANA(0)");
+    let eval = Evaluator::paper_platform();
+    let net = rana_zoo::vgg16();
+    let edod = eval.evaluate(&net, Design::EdOd);
+    let rana0 = eval.evaluate(&net, Design::Rana0);
+
+    println!(
+        "{:<10} {:>8} {:>8} {:>12} {:>12} {:>10}",
+        "layer", "eD+OD", "RANA(0)", "RANA pat.", "offchip", "refresh"
+    );
+    let mut csv = Vec::new();
+    for (a, b) in edod.schedule.layers.iter().zip(&rana0.schedule.layers) {
+        let base = a.energy.total_j();
+        println!(
+            "{:<10} {:>8.3} {:>8.3} {:>12} {:>12} {:>10}",
+            a.sim.layer,
+            1.0,
+            b.energy.total_j() / base,
+            format!("{}", b.sim.pattern),
+            pct(a.energy.offchip_j.max(1e-18), b.energy.offchip_j.max(1e-18)),
+            pct(a.energy.refresh_j.max(1e-18), b.energy.refresh_j.max(1e-18)),
+        );
+        csv.push(format!("{},{:.6},{}", a.sim.layer, b.energy.total_j() / base, b.sim.pattern));
+    }
+    rana_bench::write_csv("fig17_vgg_layerwise.csv", "layer,rana0_over_edod,rana0_pattern", &csv);
+    println!(
+        "\nWhole VGG: RANA(0) vs eD+OD = {}   (paper: -19.4% network-wide; layers 2-8 save 47.8-67.0%)",
+        pct(edod.total.total_j(), rana0.total.total_j())
+    );
+}

@@ -1,0 +1,54 @@
+//! Figure 18 — sensitivity to buffer capacity: RANA(E-5) (conventional
+//! controller) vs RANA*(E-5) (refresh-optimized controller) with the
+//! eDRAM buffer swept over 0.25×…8× of 1.454 MB. Conventional refresh
+//! grows with capacity; the optimized controller's does not.
+
+use rana_bench::{banner, pct};
+use rana_core::{designs::Design, evaluate::Evaluator};
+
+fn main() {
+    banner("Figure 18", "System energy vs buffer capacity (0.364 - 11.632 MB)");
+    let factors = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let nets = rana_zoo::benchmarks();
+    let mut csv = Vec::new();
+    for design in [Design::RanaE5, Design::RanaStarE5] {
+        println!("\n-- {} --", design.label());
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "network", "0.364MB", "0.727MB", "1.454MB", "2.908MB", "5.816MB", "11.632MB"
+        );
+        for net in &nets {
+            // Normalize to this network's RANA(E-5) value at 0.25x, as the
+            // paper normalizes within each network group.
+            let base = Evaluator::paper_platform_scaled(0.25)
+                .evaluate(net, Design::RanaE5)
+                .total
+                .total_j();
+            print!("{:<12}", net.name());
+            for f in factors {
+                let e = Evaluator::paper_platform_scaled(f).evaluate(net, design);
+                print!(" {:>10.3}", e.total.total_j() / base);
+                csv.push(format!("{},{},{f},{:.6}", design.label(), net.name(), e.total.total_j() / base));
+            }
+            println!();
+        }
+    }
+    rana_bench::write_csv("fig18_capacity_sweep.csv", "design,network,capacity_factor,norm_total", &csv);
+
+    // The paper's AlexNet observation: at large capacity, conventional
+    // refresh makes the total energy rise again; the optimized controller
+    // removes it.
+    let alex = rana_zoo::alexnet();
+    let conv8 = Evaluator::paper_platform_scaled(8.0).evaluate(&alex, Design::RanaE5);
+    let conv_q = Evaluator::paper_platform_scaled(0.25).evaluate(&alex, Design::RanaE5);
+    let star8 = Evaluator::paper_platform_scaled(8.0).evaluate(&alex, Design::RanaStarE5);
+    println!(
+        "\nAlexNet @11.632MB, RANA(E-5): refresh = {:.1}% of system energy (paper: 26.3%), total {} vs 0.364MB",
+        conv8.total.refresh_j / conv8.total.total_j() * 100.0,
+        pct(conv_q.total.total_j(), conv8.total.total_j())
+    );
+    println!(
+        "AlexNet @11.632MB, RANA*(E-5) refresh energy vs RANA(E-5): {}   (paper: -65.5..-92.3% across capacities)",
+        pct(conv8.total.refresh_j.max(1e-18), star8.total.refresh_j.max(1e-18))
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 19 — scalability analysis on DaDianNao: the original node (WD,
+//! conventional 45 µs refresh) vs RANA(0)/RANA(E-5)/RANA*(E-5) with the
+//! same hardware parameters (4096 PEs, Tm=Tn=64, Tr=Tc=1, 36 MB eDRAM,
+//! 606 MHz), normalized per network to the original DaDianNao.
+
+use rana_bench::{banner, pct};
+use rana_core::report::{breakdown_header, breakdown_row, geomean_breakdown};
+use rana_core::{designs::Design, evaluate::Evaluator};
+
+fn main() {
+    banner("Figure 19", "Scalability analysis on DaDianNao");
+    let eval = Evaluator::dadiannao_platform();
+    let nets = rana_zoo::benchmarks();
+    let designs = [Design::Rana0, Design::RanaE5, Design::RanaStarE5];
+
+    let mut norms: Vec<Vec<_>> = vec![Vec::new(); 4];
+    let mut base_refresh = 0u64;
+    let mut star_refresh = 0u64;
+    let mut base_total = 0.0;
+    let mut star_total = 0.0;
+    let mut base_buffer = 0.0;
+    let mut rana0_buffer = 0.0;
+    for net in &nets {
+        let base = eval.evaluate_dadiannao_baseline(net);
+        let b = base.total.total_j();
+        println!("\n-- {} (normalized to DaDianNao = 1.0) --", net.name());
+        println!("{}", breakdown_header("x DaDianNao"));
+        println!("{}", breakdown_row("DaDianNao", &base.total.normalized_to(b)));
+        norms[0].push(base.total.normalized_to(b));
+        base_refresh += base.refresh_words;
+        base_total += b;
+        base_buffer += base.total.buffer_j;
+        for (i, d) in designs.iter().enumerate() {
+            let r = eval.evaluate(net, *d);
+            println!("{}", breakdown_row(d.label(), &r.total.normalized_to(b)));
+            norms[i + 1].push(r.total.normalized_to(b));
+            if *d == Design::RanaStarE5 {
+                star_refresh += r.refresh_words;
+                star_total += r.total.total_j();
+            }
+            if *d == Design::Rana0 {
+                rana0_buffer += r.total.buffer_j;
+            }
+        }
+    }
+    println!("\n-- GEOM --");
+    println!("{}", breakdown_header("x DaDianNao"));
+    for (label, n) in ["DaDianNao", "RANA (0)", "RANA (E-5)", "RANA*(E-5)"].iter().zip(&norms) {
+        println!("{}", breakdown_row(label, &geomean_breakdown(n)));
+    }
+    println!("\nHeadlines:");
+    println!(
+        "  RANA(0) buffer access energy vs DaDianNao: {}   (paper: -97.2%)",
+        pct(base_buffer, rana0_buffer)
+    );
+    println!(
+        "  RANA*(E-5) refresh ops vs DaDianNao:       {}   (paper: -99.9%)",
+        pct(base_refresh as f64, star_refresh.max(1) as f64)
+    );
+    println!(
+        "  RANA*(E-5) system energy vs DaDianNao:     {}   (paper: -69.4%)",
+        pct(base_total, star_total)
+    );
+}

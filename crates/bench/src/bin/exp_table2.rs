@@ -1,0 +1,30 @@
+//! Table II — characteristics of 32 KB SRAM vs eDRAM at 65 nm.
+
+use rana_bench::banner;
+use rana_edram::MemoryCharacteristics;
+
+fn main() {
+    banner("Table II", "SRAM vs eDRAM characteristics (32KB, 65nm)");
+    let s = MemoryCharacteristics::sram_65nm();
+    let e = MemoryCharacteristics::edram_65nm();
+    println!("{:<28} {:>12} {:>12}", "", "SRAM", "eDRAM");
+    println!("{:<28} {:>12} {:>12}", "Data storage", "Latch", "Capacitor");
+    println!("{:<28} {:>12.3} {:>12.3}", "Area (mm^2)", s.area_mm2, e.area_mm2);
+    println!("{:<28} {:>12.3} {:>12.3}", "Access latency (ns)", s.access_latency_ns, e.access_latency_ns);
+    println!(
+        "{:<28} {:>12.3} {:>12.3}",
+        "Access energy (pJ/bit)", s.access_energy_pj_per_bit, e.access_energy_pj_per_bit
+    );
+    println!(
+        "{:<28} {:>12} {:>12.3}",
+        "Refresh energy (uJ/bank)",
+        "-",
+        e.refresh_energy_uj_per_bank.unwrap()
+    );
+    println!("{:<28} {:>12} {:>12.1}", "Retention time (us)", "-", e.retention_time_us.unwrap());
+    println!(
+        "\neDRAM area is {:.1}% of SRAM: 384 KB SRAM area holds {:.3} MB eDRAM",
+        e.area_mm2 / s.area_mm2 * 100.0,
+        MemoryCharacteristics::edram_capacity_for_sram_area(384 * 1024) as f64 / 1e6
+    );
+}

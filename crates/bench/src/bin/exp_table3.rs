@@ -1,0 +1,20 @@
+//! Table III — energy cost per operation at 65 nm.
+
+use rana_bench::banner;
+use rana_edram::EnergyCosts;
+
+fn main() {
+    banner("Table III", "Energy cost in the 65nm technology node");
+    let e = EnergyCosts::paper_65nm();
+    println!("{:<36} {:>10} {:>12}", "Operation", "pJ", "vs MAC");
+    let rows = [
+        ("16-bit fixed-point MAC", e.mac_pj),
+        ("16-bit 32KB SRAM access", e.sram_access_pj),
+        ("16-bit 32KB eDRAM access", e.edram_access_pj),
+        ("16-bit 32KB eDRAM refresh (per word)", e.edram_refresh_pj),
+        ("16-bit 1GB DDR3 access", e.ddr_access_pj),
+    ];
+    for (name, pj) in rows {
+        println!("{name:<36} {pj:>10.1} {:>11.1}x", pj / e.mac_pj);
+    }
+}

@@ -1,0 +1,159 @@
+//! Shared plumbing for the experiment binaries (`src/bin/exp_*.rs`).
+//!
+//! Each binary regenerates one table or figure of the RANA paper — same
+//! rows/series, absolute numbers from our simulator (EXPERIMENTS.md records
+//! paper-vs-measured side by side).
+
+pub mod svg;
+
+use rana_core::designs::Design;
+use rana_core::energy::EnergyBreakdown;
+use rana_core::evaluate::{Evaluator, NetworkEnergy};
+use rana_core::report::{breakdown_header, breakdown_row, geomean, geomean_breakdown};
+use rana_zoo::Network;
+
+/// Prints a standard experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("==============================================================");
+    println!("{id}: {title}");
+    println!("==============================================================");
+}
+
+/// Writes a CSV into `results/` (created on demand) so figures can be
+/// re-plotted outside the terminal. Failures are reported, not fatal —
+/// experiments still print everything to stdout.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let dir = std::path::Path::new("results");
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut out = String::with_capacity(rows.len() * 32 + header.len() + 1);
+        out.push_str(header);
+        out.push('\n');
+        for r in rows {
+            out.push_str(r);
+            out.push('\n');
+        }
+        std::fs::write(dir.join(name), out)
+    };
+    match write() {
+        Ok(()) => println!("(wrote results/{name})"),
+        Err(e) => eprintln!("could not write results/{name}: {e}"),
+    }
+}
+
+/// Evaluates every Table IV design on every benchmark and prints the
+/// Figure 15-style normalized table (normalized to S+ID per network),
+/// ending with the GEOM group. Returns `(network, design, normalized
+/// breakdown)` rows for further digestion.
+pub fn run_design_matrix(eval: &Evaluator, nets: &[Network]) -> Vec<(String, Design, EnergyBreakdown)> {
+    let mut rows = Vec::new();
+    let mut per_design_norms: Vec<Vec<EnergyBreakdown>> = vec![Vec::new(); Design::ALL.len()];
+    let mut csv = Vec::new();
+    for net in nets {
+        let results: Vec<NetworkEnergy> =
+            Design::ALL.iter().map(|&d| eval.evaluate(net, d)).collect();
+        let base = results[0].total.total_j();
+        println!("\n-- {} (normalized to S+ID = 1.0) --", net.name());
+        println!("{}", breakdown_header("x S+ID"));
+        for (i, (d, r)) in Design::ALL.iter().zip(&results).enumerate() {
+            let norm = r.total.normalized_to(base);
+            println!("{}", breakdown_row(d.label(), &norm));
+            csv.push(format!(
+                "{},{},{:.6},{:.6},{:.6},{:.6},{:.6}",
+                net.name(),
+                d.label(),
+                norm.computing_j,
+                norm.buffer_j,
+                norm.refresh_j,
+                norm.offchip_j,
+                norm.total_j()
+            ));
+            per_design_norms[i].push(norm);
+            rows.push((net.name().to_string(), *d, norm));
+        }
+    }
+    println!("\n-- GEOM over {} benchmarks --", nets.len());
+    println!("{}", breakdown_header("x S+ID"));
+    for (d, norms) in Design::ALL.iter().zip(&per_design_norms) {
+        let g = geomean_breakdown(norms);
+        println!("{}", breakdown_row(d.label(), &g));
+        csv.push(format!(
+            "GEOM,{},{:.6},{:.6},{:.6},{:.6},{:.6}",
+            d.label(),
+            g.computing_j,
+            g.buffer_j,
+            g.refresh_j,
+            g.offchip_j,
+            g.total_j()
+        ));
+    }
+    write_csv("fig15_design_matrix.csv", "network,design,compute,buffer,refresh,offchip,total", &csv);
+
+    // And the figure itself as SVG.
+    let groups: Vec<(&str, Vec<svg::Bar>)> = {
+        let mut by_net: Vec<(&str, Vec<svg::Bar>)> = Vec::new();
+        for net in nets {
+            let bars = rows
+                .iter()
+                .filter(|(n, _, _)| n == net.name())
+                .map(|(_, d, b)| svg::Bar {
+                    label: d.label().to_string(),
+                    parts: vec![b.computing_j, b.buffer_j, b.refresh_j, b.offchip_j],
+                })
+                .collect();
+            by_net.push((net.name(), bars));
+        }
+        by_net
+    };
+    let image = svg::stacked_bars(
+        "Figure 15: normalized total system energy",
+        &["computing", "buffer access", "refresh", "off-chip access"],
+        &groups,
+    );
+    if std::fs::create_dir_all("results").is_ok() {
+        match std::fs::write("results/fig15_energy.svg", image) {
+            Ok(()) => println!("(wrote results/fig15_energy.svg)"),
+            Err(e) => eprintln!("could not write results/fig15_energy.svg: {e}"),
+        }
+    }
+    rows
+}
+
+/// Percentage string helper: `-41.7%` style.
+pub fn pct(old: f64, new: f64) -> String {
+    format!("{:+.1}%", (new - old) / old * 100.0)
+}
+
+/// Geometric mean of the `total_j` ratios of a design against S+ID rows.
+pub fn geomean_ratio(rows: &[(String, Design, EnergyBreakdown)], design: Design) -> f64 {
+    let ratios: Vec<f64> = rows
+        .iter()
+        .filter(|(_, d, _)| *d == design)
+        .map(|(_, _, b)| b.total_j())
+        .collect();
+    geomean(&ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_matrix_smoke() {
+        // One small network end to end through the matrix printer.
+        let eval = Evaluator::paper_platform();
+        let nets = vec![rana_zoo::alexnet()];
+        let rows = run_design_matrix(&eval, &nets);
+        assert_eq!(rows.len(), Design::ALL.len());
+        // S+ID normalizes to exactly 1.
+        assert!((geomean_ratio(&rows, Design::SId) - 1.0).abs() < 1e-9);
+        // RANA*(E-5) is never worse than eD+ID.
+        assert!(geomean_ratio(&rows, Design::RanaStarE5) < geomean_ratio(&rows, Design::EdId));
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(2.0, 1.0), "-50.0%");
+        assert_eq!(pct(1.0, 1.417), "+41.7%");
+    }
+}

@@ -1,0 +1,162 @@
+//! Minimal SVG stacked-bar-chart writer — regenerates the paper's figures
+//! as actual images, no plotting dependency.
+
+/// One bar: a label plus the stacked component values (bottom-up order).
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// X-axis label.
+    pub label: String,
+    /// Component values in stacking order.
+    pub parts: Vec<f64>,
+}
+
+/// Renders grouped stacked bars as an SVG document.
+///
+/// `series` names the stacked components (must match each bar's part
+/// count); `groups` are `(group label, bars)`.
+///
+/// # Example
+///
+/// ```
+/// use rana_bench::svg::{stacked_bars, Bar};
+/// let svg = stacked_bars(
+///     "demo",
+///     &["a", "b"],
+///     &[("g", vec![Bar { label: "x".into(), parts: vec![1.0, 2.0] }])],
+/// );
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("rect"));
+/// ```
+pub fn stacked_bars(title: &str, series: &[&str], groups: &[(&str, Vec<Bar>)]) -> String {
+    const COLORS: [&str; 5] = ["#4878a8", "#e0a030", "#c04848", "#58a868", "#8868b8"];
+    let bar_w = 26.0;
+    let gap = 6.0;
+    let group_gap = 30.0;
+    let chart_h = 260.0;
+    let margin_l = 50.0;
+    let margin_top = 40.0;
+    let label_h = 90.0;
+
+    let total_bars: usize = groups.iter().map(|(_, b)| b.len()).sum();
+    let width = margin_l
+        + total_bars as f64 * (bar_w + gap)
+        + groups.len() as f64 * group_gap
+        + 140.0; // legend space
+    let height = margin_top + chart_h + label_h;
+    let max_total = groups
+        .iter()
+        .flat_map(|(_, bars)| bars.iter().map(|b| b.parts.iter().sum::<f64>()))
+        .fold(1e-12f64, f64::max);
+
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         font-family=\"sans-serif\" font-size=\"11\">\n\
+         <text x=\"{margin_l}\" y=\"20\" font-size=\"14\" font-weight=\"bold\">{title}</text>\n"
+    );
+
+    // Y axis with 5 gridlines.
+    for i in 0..=5 {
+        let v = max_total * i as f64 / 5.0;
+        let y = margin_top + chart_h - chart_h * i as f64 / 5.0;
+        out += &format!(
+            "<line x1=\"{margin_l}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\" stroke=\"#ddd\"/>\n\
+             <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{v:.2}</text>\n",
+            width - 140.0,
+            margin_l - 6.0,
+            y + 4.0
+        );
+    }
+
+    let mut x = margin_l + 10.0;
+    for (gname, bars) in groups {
+        let group_start = x;
+        for bar in bars {
+            let mut y = margin_top + chart_h;
+            for (i, &v) in bar.parts.iter().enumerate() {
+                let h = (v / max_total * chart_h).max(0.0);
+                y -= h;
+                out += &format!(
+                    "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bar_w}\" height=\"{h:.1}\" \
+                     fill=\"{}\"/>\n",
+                    COLORS[i % COLORS.len()]
+                );
+            }
+            out += &format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\" \
+                 transform=\"rotate(-60 {:.1} {:.1})\">{}</text>\n",
+                x + bar_w / 2.0,
+                margin_top + chart_h + 12.0,
+                x + bar_w / 2.0,
+                margin_top + chart_h + 12.0,
+                bar.label
+            );
+            x += bar_w + gap;
+        }
+        out += &format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" font-weight=\"bold\">{gname}</text>\n",
+            (group_start + x - gap) / 2.0,
+            height - 6.0
+        );
+        x += group_gap;
+    }
+
+    // Legend.
+    let lx = width - 130.0;
+    for (i, s) in series.iter().enumerate() {
+        let ly = margin_top + i as f64 * 18.0;
+        out += &format!(
+            "<rect x=\"{lx}\" y=\"{ly}\" width=\"12\" height=\"12\" fill=\"{}\"/>\n\
+             <text x=\"{:.1}\" y=\"{:.1}\">{s}</text>\n",
+            COLORS[i % COLORS.len()],
+            lx + 16.0,
+            ly + 10.0
+        );
+    }
+    out += "</svg>\n";
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> String {
+        stacked_bars(
+            "t",
+            &["compute", "refresh"],
+            &[
+                ("A", vec![Bar { label: "x".into(), parts: vec![1.0, 0.5] }, Bar { label: "y".into(), parts: vec![0.2, 0.8] }]),
+                ("B", vec![Bar { label: "z".into(), parts: vec![0.7, 0.1] }]),
+            ],
+        )
+    }
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let svg = demo();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // 3 bars x 2 parts + 2 legend swatches = 8 rects.
+        assert_eq!(svg.matches("<rect").count(), 8);
+        assert!(svg.contains(">A<") && svg.contains(">B<"));
+        assert!(svg.contains("compute") && svg.contains("refresh"));
+    }
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let svg = demo();
+        // The tallest bar (total 1.5) must reach the full chart height:
+        // its stacked heights sum to 260.
+        let heights: Vec<f64> = svg
+            .match_indices("height=\"")
+            .skip(1) // skip the svg element's own height
+            .filter_map(|(i, m)| {
+                let rest = &svg[i + m.len()..];
+                let end = rest.find('"')?;
+                rest[..end].parse().ok()
+            })
+            .collect();
+        let max = heights.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!(max > 100.0, "tallest segment {max}");
+    }
+}

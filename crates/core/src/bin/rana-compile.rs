@@ -1,0 +1,178 @@
+//! `rana-compile` — the RANA compilation phase as a command-line tool.
+//!
+//! Takes a benchmark network and a Table IV design, runs Stage 1
+//! (surrogate) + Stage 2 (scheduling) and emits the Stage 3 layerwise
+//! configurations the refresh-optimized eDRAM controller consumes —
+//! pattern/tiling per layer, bank allocations, refresh flags, the
+//! tolerable retention time and the programmable clock-divider ratio.
+//!
+//! ```console
+//! $ rana-compile resnet --design rana-star
+//! $ rana-compile vgg --design rana-star --capacity 2.0 --json out.json
+//! $ rana-compile alexnet --summary
+//! ```
+
+use rana_core::config_gen::LayerwiseConfig;
+use rana_core::designs::Design;
+use rana_core::evaluate::Evaluator;
+use rana_zoo::Network;
+use std::process::ExitCode;
+
+struct Args {
+    network: String,
+    design: Design,
+    capacity_factor: f64,
+    input_hw: Option<usize>,
+    json_path: Option<String>,
+    summary_only: bool,
+    with_fc: bool,
+}
+
+const USAGE: &str = "usage: rana-compile <alexnet|vgg|googlenet|resnet|mobilenet> \
+    [--design <s-id|ed-id|ed-od|rana0|rana-e5|rana-star>] \
+    [--capacity <factor>] [--input <pixels>] [--with-fc] [--json <path>] [--summary]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let network = args.next().ok_or(USAGE.to_string())?;
+    let mut out = Args {
+        network,
+        design: Design::RanaStarE5,
+        capacity_factor: 1.0,
+        input_hw: None,
+        json_path: None,
+        summary_only: false,
+        with_fc: false,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--design" => {
+                let v = args.next().ok_or("--design needs a value")?;
+                out.design = match v.as_str() {
+                    "s-id" => Design::SId,
+                    "ed-id" => Design::EdId,
+                    "ed-od" => Design::EdOd,
+                    "rana0" => Design::Rana0,
+                    "rana-e5" => Design::RanaE5,
+                    "rana-star" => Design::RanaStarE5,
+                    other => return Err(format!("unknown design '{other}'")),
+                };
+            }
+            "--capacity" => {
+                out.capacity_factor = args
+                    .next()
+                    .ok_or("--capacity needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad capacity factor: {e}"))?;
+            }
+            "--input" => {
+                out.input_hw = Some(
+                    args.next()
+                        .ok_or("--input needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad input size: {e}"))?,
+                );
+            }
+            "--json" => out.json_path = Some(args.next().ok_or("--json needs a path")?),
+            "--summary" => out.summary_only = true,
+            "--with-fc" => out.with_fc = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(out)
+}
+
+fn load_network(name: &str, input_hw: Option<usize>, with_fc: bool) -> Result<Network, String> {
+    if with_fc {
+        return match name {
+            "alexnet" => Ok(rana_zoo::alexnet_with_fc()),
+            other => Err(format!("--with-fc is only wired up for alexnet, not '{other}'")),
+        };
+    }
+    match (name, input_hw) {
+        ("alexnet", None) => Ok(rana_zoo::alexnet()),
+        ("googlenet", None) => Ok(rana_zoo::googlenet()),
+        ("vgg", None) => Ok(rana_zoo::vgg16()),
+        ("vgg", Some(hw)) => Ok(rana_zoo::vgg16_with_input(hw)),
+        ("resnet", None) => Ok(rana_zoo::resnet50()),
+        ("resnet", Some(hw)) => Ok(rana_zoo::resnet50_with_input(hw)),
+        ("mobilenet", None) => Ok(rana_zoo::mobilenet_v1()),
+        (n @ ("alexnet" | "googlenet" | "mobilenet"), Some(_)) => {
+            Err(format!("{n} does not support --input (stride chain is resolution-specific)"))
+        }
+        (other, _) => Err(format!("unknown network '{other}'\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let net = match load_network(&args.network, args.input_hw, args.with_fc) {
+        Ok(n) => n,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let eval = if (args.capacity_factor - 1.0).abs() < 1e-12 {
+        Evaluator::paper_platform()
+    } else {
+        Evaluator::paper_platform_scaled(args.capacity_factor)
+    };
+    let result = eval.evaluate(&net, args.design);
+    let refresh = args.design.refresh_model(eval.retention());
+    let cfg = if args.design.uses_edram() {
+        eval.edram_config().clone()
+    } else {
+        rana_accel::AcceleratorConfig::paper_sram()
+    };
+    let lw = LayerwiseConfig::generate(&result.schedule, &cfg, &refresh);
+
+    println!(
+        "# {} on {} under {} — {:.0} us retention pulse (divider 1:{}), {:.1}% flags disabled",
+        net.name(),
+        cfg.name,
+        args.design.label(),
+        lw.tolerable_retention_us,
+        lw.clock_divider,
+        lw.disabled_flag_fraction() * 100.0
+    );
+    println!(
+        "# energy {:.3} mJ (refresh {:.4} mJ), off-chip {} words, time {:.2} ms",
+        result.total.total_j() * 1e3,
+        result.total.refresh_j * 1e3,
+        result.dram_words,
+        result.time_us / 1e3
+    );
+
+    if !args.summary_only {
+        println!("{:<22} {:<28} {:>12} {:>14}", "layer", "pattern", "flags on", "refresh words");
+        for (layer_cfg, sched) in lw.layers.iter().zip(&result.schedule.layers) {
+            println!(
+                "{:<22} {:<28} {:>9}/{:<3} {:>14}",
+                layer_cfg.layer,
+                layer_cfg.pattern,
+                layer_cfg.refresh_flags.iter().filter(|&&f| f).count(),
+                layer_cfg.refresh_flags.len(),
+                sched.refresh_words
+            );
+        }
+    }
+
+    if let Some(path) = args.json_path {
+        let json = serde_json::to_string_pretty(&lw).expect("configurations serialize");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("# wrote layerwise configurations to {path}");
+    }
+    ExitCode::SUCCESS
+}

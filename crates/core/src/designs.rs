@@ -1,0 +1,132 @@
+//! The six design points of Table IV.
+//!
+//! | design | buffer | pattern | failure rate | interval | controller |
+//! |---|---|---|---|---|---|
+//! | S+ID | 384 KB SRAM | ID | — | — | — |
+//! | eD+ID | 1.454 MB eDRAM | ID | 0 (3e-6) | 45 µs | normal |
+//! | eD+OD | 1.454 MB eDRAM | OD | 0 (3e-6) | 45 µs | normal |
+//! | RANA(0) | 1.454 MB eDRAM | hybrid | 0 (3e-6) | 45 µs | normal |
+//! | RANA(E-5) | 1.454 MB eDRAM | hybrid | 1e-5 | 734 µs | normal |
+//! | RANA*(E-5) | 1.454 MB eDRAM | hybrid | 1e-5 | 734 µs | optimized |
+
+use rana_accel::{ControllerKind, Pattern, RefreshModel};
+use rana_edram::RetentionDistribution;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Table IV design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Design {
+    /// SRAM baseline with the typical ID pattern.
+    SId,
+    /// eDRAM with ID.
+    EdId,
+    /// eDRAM with OD.
+    EdOd,
+    /// RANA's hybrid pattern, no retraining (45 µs interval).
+    Rana0,
+    /// Hybrid pattern + retention-aware training (734 µs interval).
+    RanaE5,
+    /// RANA(E-5) + the refresh-optimized eDRAM controller.
+    RanaStarE5,
+}
+
+impl Design {
+    /// All six designs in the paper's order.
+    pub const ALL: [Design; 6] = [
+        Design::SId,
+        Design::EdId,
+        Design::EdOd,
+        Design::Rana0,
+        Design::RanaE5,
+        Design::RanaStarE5,
+    ];
+
+    /// Whether this design uses eDRAM buffers.
+    pub fn uses_edram(&self) -> bool {
+        !matches!(self, Design::SId)
+    }
+
+    /// The pattern space this design's scheduler explores.
+    pub fn patterns(&self) -> Vec<Pattern> {
+        match self {
+            Design::SId | Design::EdId => vec![Pattern::Id],
+            Design::EdOd => vec![Pattern::Od],
+            Design::Rana0 | Design::RanaE5 | Design::RanaStarE5 => Pattern::RANA_SPACE.to_vec(),
+        }
+    }
+
+    /// Whether the design's scheduler explores tiling parameters. Tiling
+    /// exploration is part of RANA's Stage-2 scheduling scheme (Figure
+    /// 13); the baselines run the platform's natural PE-array-shaped
+    /// tiling `⟨Tm=16, Tn=16, Tr=1, Tc=16⟩` — the configuration used in
+    /// all of §III/§IV's running examples.
+    pub fn explores_tiling(&self) -> bool {
+        matches!(self, Design::Rana0 | Design::RanaE5 | Design::RanaStarE5)
+    }
+
+    /// The tolerated failure rate (Table IV's "Failure Rate" column;
+    /// untrained designs tolerate only the intrinsic 3e-6 weakest cell).
+    pub fn failure_rate(&self) -> f64 {
+        match self {
+            Design::RanaE5 | Design::RanaStarE5 => 1e-5,
+            _ => 3e-6,
+        }
+    }
+
+    /// Refresh interval + controller under `dist`.
+    pub fn refresh_model(&self, dist: &RetentionDistribution) -> RefreshModel {
+        let interval_us = match self {
+            Design::RanaE5 | Design::RanaStarE5 => dist.tolerable_retention_us(1e-5),
+            _ => dist.typical_retention_us(),
+        };
+        let kind = match self {
+            Design::RanaStarE5 => ControllerKind::RefreshOptimized,
+            _ => ControllerKind::Conventional,
+        };
+        RefreshModel { interval_us, kind }
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Design::SId => "S+ID",
+            Design::EdId => "eD+ID",
+            Design::EdOd => "eD+OD",
+            Design::Rana0 => "RANA (0)",
+            Design::RanaE5 => "RANA (E-5)",
+            Design::RanaStarE5 => "RANA*(E-5)",
+        }
+    }
+}
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_rows() {
+        let dist = RetentionDistribution::kong2008();
+        assert!(!Design::SId.uses_edram());
+        assert_eq!(Design::EdOd.patterns(), vec![Pattern::Od]);
+        assert_eq!(Design::Rana0.patterns().len(), 2);
+        assert_eq!(Design::Rana0.refresh_model(&dist).interval_us, 45.0);
+        let m = Design::RanaE5.refresh_model(&dist);
+        assert!((m.interval_us - 734.0).abs() < 1.0);
+        assert_eq!(m.kind, ControllerKind::Conventional);
+        assert_eq!(Design::RanaStarE5.refresh_model(&dist).kind, ControllerKind::RefreshOptimized);
+        assert_eq!(Design::RanaE5.failure_rate(), 1e-5);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Design::ALL.len(), 6);
+        assert_eq!(Design::RanaStarE5.to_string(), "RANA*(E-5)");
+    }
+}

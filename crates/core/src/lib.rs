@@ -1,0 +1,48 @@
+//! # rana-core — the Retention-Aware Neural Acceleration framework
+//!
+//! The paper's contribution (Figure 6): a 3-stage workflow that lets an
+//! eDRAM-buffered CNN accelerator run almost refresh-free.
+//!
+//! * **Stage 1 — training** ([`training_stage`]): retention-aware training
+//!   finds the highest tolerable bit failure rate under an accuracy
+//!   constraint; the eDRAM retention distribution maps it to a *tolerable
+//!   retention time* (45 µs → 734 µs at rate 10⁻⁵).
+//! * **Stage 2 — scheduling** ([`scheduler`]): for each CONV layer, explore
+//!   OD/WD computation patterns × tiling parameters under the core-local
+//!   storage constraints and pick the minimum of the system energy model
+//!   `E = α·Emac + βb·Ebuffer + γ·Erefresh + βd·Eddr` ([`energy`], Eq. 14),
+//!   yielding the hybrid computation pattern and the layerwise
+//!   configurations ([`config_gen`]).
+//! * **Stage 3 — architecture** ([`evaluate`] + `rana-accel`/`rana-edram`):
+//!   the refresh-optimized eDRAM controller executes those configurations,
+//!   refreshing only flagged banks at the tolerable-retention-time pulse.
+//!
+//! [`designs`] defines the six design points of Table IV and
+//! [`evaluate::Evaluator`] reproduces the paper's energy comparisons.
+//!
+//! # Example
+//!
+//! ```
+//! use rana_core::{designs::Design, evaluate::Evaluator};
+//!
+//! let eval = Evaluator::paper_platform();
+//! let net = rana_zoo::alexnet();
+//! let sram = eval.evaluate(&net, Design::SId);
+//! let rana = eval.evaluate(&net, Design::RanaStarE5);
+//! assert!(rana.total.refresh_j < 0.05 * rana.total.total_j());
+//! assert!(sram.total.refresh_j == 0.0);
+//! ```
+
+pub mod config_gen;
+pub mod designs;
+pub mod energy;
+pub mod evaluate;
+pub mod report;
+pub mod runtime;
+pub mod scheduler;
+pub mod training_stage;
+
+pub use designs::Design;
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use evaluate::{Evaluator, NetworkEnergy};
+pub use scheduler::{LayerSchedule, NetworkSchedule, Scheduler};

@@ -1,0 +1,103 @@
+//! Text reporting helpers for the experiment harness: normalized stacked
+//! bars as table rows, geometric means, and aligned columns.
+
+use crate::energy::EnergyBreakdown;
+
+/// Geometric mean of positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-positive entries.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean needs positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Component-wise geometric mean of normalized breakdowns: the paper's
+/// "GEOM" bars scale each design's breakdown by the geomean of its *total*
+/// ratios across benchmarks, preserving the average component mix.
+pub fn geomean_breakdown(norms: &[EnergyBreakdown]) -> EnergyBreakdown {
+    assert!(!norms.is_empty(), "geomean of nothing");
+    let totals: Vec<f64> = norms.iter().map(EnergyBreakdown::total_j).collect();
+    let g = geomean(&totals);
+    let mean_mix = norms.iter().fold(EnergyBreakdown::default(), |acc, b| acc + *b);
+    let mix_total = mean_mix.total_j().max(f64::MIN_POSITIVE);
+    EnergyBreakdown {
+        computing_j: g * mean_mix.computing_j / mix_total,
+        buffer_j: g * mean_mix.buffer_j / mix_total,
+        refresh_j: g * mean_mix.refresh_j / mix_total,
+        offchip_j: g * mean_mix.offchip_j / mix_total,
+    }
+}
+
+/// Formats a breakdown as a row of fixed-width columns:
+/// `computing buffer refresh offchip | total`.
+pub fn breakdown_row(label: &str, b: &EnergyBreakdown) -> String {
+    format!(
+        "{label:<14} {:>9.4} {:>9.4} {:>9.4} {:>9.4} | {:>9.4}",
+        b.computing_j,
+        b.buffer_j,
+        b.refresh_j,
+        b.offchip_j,
+        b.total_j()
+    )
+}
+
+/// Header matching [`breakdown_row`].
+pub fn breakdown_header(unit: &str) -> String {
+    format!(
+        "{:<14} {:>9} {:>9} {:>9} {:>9} | {:>9}   ({unit})",
+        "design", "compute", "buffer", "refresh", "off-chip", "total"
+    )
+}
+
+/// Percent-change helper: `(new - old) / old * 100`.
+pub fn percent_change(old: f64, new: f64) -> f64 {
+    (new - old) / old * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn geomean_breakdown_total_is_geomean_of_totals() {
+        let a = EnergyBreakdown { computing_j: 0.5, buffer_j: 0.5, refresh_j: 0.0, offchip_j: 0.0 };
+        let b = EnergyBreakdown { computing_j: 2.0, buffer_j: 2.0, refresh_j: 0.0, offchip_j: 0.0 };
+        let g = geomean_breakdown(&[a, b]);
+        assert!((g.total_j() - 2.0).abs() < 1e-9, "total {}", g.total_j());
+    }
+
+    #[test]
+    fn rows_are_aligned() {
+        let b = EnergyBreakdown { computing_j: 1.0, buffer_j: 2.0, refresh_j: 3.0, offchip_j: 4.0 };
+        let row = breakdown_row("S+ID", &b);
+        assert!(row.contains("10.0000"));
+        assert_eq!(breakdown_header("J").split('|').count(), 2);
+    }
+
+    #[test]
+    fn percent_change_sign() {
+        assert!((percent_change(2.0, 1.0) + 50.0).abs() < 1e-12);
+        assert!((percent_change(1.0, 2.0) - 100.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,340 @@
+//! RANA's layer-based scheduling scheme (paper §IV-C3, Figure 13).
+//!
+//! For each CONV layer, the scheduler explores computation patterns ×
+//! tiling parameters subject to the core-local storage constraints
+//! (`Tn·Th·Tl ≤ Ri`, `Tm·Tr·Tc ≤ Ro`, `Tm·Tn·K² ≤ Rw`) and picks the
+//! candidate minimizing the system energy model. The per-layer winners
+//! form the *hybrid computation pattern* `⟨OD/WD, Tm, Tn, Tr, Tc⟩`.
+
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use rana_accel::{analyze, AcceleratorConfig, LayerSim, Pattern, RefreshModel, SchedLayer, Tiling};
+use rana_accel::refresh::layer_refresh_words;
+use rana_zoo::Network;
+use serde::{Deserialize, Serialize};
+
+/// The chosen execution of one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSchedule {
+    /// Full analysis of the winning `(pattern, tiling)`.
+    pub sim: LayerSim,
+    /// Refresh words over the layer under the design's controller.
+    pub refresh_words: u64,
+    /// Energy under Eq. 14.
+    pub energy: EnergyBreakdown,
+}
+
+/// A whole network scheduled layer by layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSchedule {
+    /// Network name.
+    pub network: String,
+    /// Per-layer schedules, in execution order.
+    pub layers: Vec<LayerSchedule>,
+}
+
+impl NetworkSchedule {
+    /// Total energy over all layers.
+    pub fn total_energy(&self) -> EnergyBreakdown {
+        self.layers.iter().fold(EnergyBreakdown::default(), |acc, l| acc + l.energy)
+    }
+
+    /// Total refresh words.
+    pub fn total_refresh_words(&self) -> u64 {
+        self.layers.iter().map(|l| l.refresh_words).sum()
+    }
+
+    /// Total off-chip words.
+    pub fn total_dram_words(&self) -> u64 {
+        self.layers.iter().map(|l| l.sim.traffic.dram_total()).sum()
+    }
+
+    /// Total execution time in µs.
+    pub fn total_time_us(&self) -> f64 {
+        self.layers.iter().map(|l| l.sim.time_us).sum()
+    }
+
+    /// How many layers picked each pattern `(ID, OD, WD)`.
+    pub fn pattern_histogram(&self) -> (usize, usize, usize) {
+        let mut h = (0, 0, 0);
+        for l in &self.layers {
+            match l.sim.pattern {
+                Pattern::Id => h.0 += 1,
+                Pattern::Od => h.1 += 1,
+                Pattern::Wd => h.2 += 1,
+            }
+        }
+        h
+    }
+}
+
+/// The scheduler: hardware, refresh model, energy costs, and the pattern
+/// space to explore.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    /// Target accelerator.
+    pub cfg: AcceleratorConfig,
+    /// Refresh interval + controller.
+    pub refresh: RefreshModel,
+    /// Energy model.
+    pub model: EnergyModel,
+    /// Patterns to explore (RANA: `[OD, WD]`; baselines fix one).
+    pub patterns: Vec<Pattern>,
+    /// Optional fixed tiling (DaDianNao's tree structure fixes
+    /// `Tm = Tn = 64`, `Tr = Tc = 1`; the Table IV baselines run the
+    /// platform's natural tiling).
+    pub fixed_tiling: Option<Tiling>,
+    /// Whether activations may stay on chip between layers when capacity
+    /// allows (a property of the platform's unified buffer, on for every
+    /// design).
+    pub interlayer_forwarding: bool,
+    /// Optional DDR3 bandwidth constraint: when set, candidates whose
+    /// off-chip traffic would stall the compute (transfer time exceeding
+    /// compute time under perfect double buffering) are avoided whenever a
+    /// compute-bound candidate exists — "minimize energy subject to no
+    /// memory-bound slowdown".
+    pub bandwidth: Option<rana_accel::dram::Ddr3Model>,
+}
+
+impl Scheduler {
+    /// A RANA scheduler (OD+WD exploration) on `cfg`.
+    pub fn rana(cfg: AcceleratorConfig, refresh: RefreshModel) -> Self {
+        Self {
+            cfg,
+            refresh,
+            model: EnergyModel::paper_65nm(),
+            patterns: Pattern::RANA_SPACE.to_vec(),
+            fixed_tiling: None,
+            interlayer_forwarding: true,
+            bandwidth: None,
+        }
+    }
+
+    /// A fixed-pattern scheduler (the ID/OD baselines of Table IV).
+    pub fn fixed_pattern(cfg: AcceleratorConfig, refresh: RefreshModel, pattern: Pattern) -> Self {
+        Self {
+            cfg,
+            refresh,
+            model: EnergyModel::paper_65nm(),
+            patterns: vec![pattern],
+            fixed_tiling: None,
+            interlayer_forwarding: true,
+            bandwidth: None,
+        }
+    }
+
+    /// Evaluates one candidate completely.
+    fn candidate(&self, layer: &SchedLayer, pattern: Pattern, tiling: Tiling) -> LayerSchedule {
+        let sim = analyze(layer, pattern, tiling, &self.cfg);
+        let refresh_words = layer_refresh_words(&sim, &self.cfg, &self.refresh);
+        let energy = self.model.layer_energy(&sim, refresh_words, &self.cfg);
+        LayerSchedule { sim, refresh_words, energy }
+    }
+
+    /// Schedules one layer: the minimum-energy `(pattern, tiling)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern list is empty.
+    pub fn schedule_layer(&self, layer: &SchedLayer) -> LayerSchedule {
+        assert!(!self.patterns.is_empty(), "scheduler needs at least one pattern");
+        let tilings: Vec<Tiling> = match self.fixed_tiling {
+            Some(t) => vec![t],
+            None => Tiling::candidates(layer, &self.cfg),
+        };
+        let meets_perf = |s: &LayerSchedule| -> bool {
+            match &self.bandwidth {
+                None => true,
+                Some(ddr) => !rana_accel::dram::LayerPerformance::of(&s.sim, ddr).memory_bound(),
+            }
+        };
+        let mut best: Option<(LayerSchedule, bool)> = None;
+        for &pattern in &self.patterns {
+            for &tiling in &tilings {
+                let cand = self.candidate(layer, pattern, tiling);
+                let cand_ok = meets_perf(&cand);
+                // Prefer candidates meeting the bandwidth constraint, then
+                // minimize energy; within a 1% energy band (energy is
+                // nearly flat in some tiling directions) prefer fewer
+                // cycles, preserving the paper's "performance loss is
+                // negligible" property.
+                let better = match &best {
+                    None => true,
+                    Some((b, b_ok)) => {
+                        if cand_ok != *b_ok {
+                            cand_ok
+                        } else {
+                            let (e, be) = (cand.energy.total_j(), b.energy.total_j());
+                            e < be * 0.99 || (e <= be * 1.01 && cand.sim.cycles < b.sim.cycles)
+                        }
+                    }
+                };
+                if better {
+                    best = Some((cand, cand_ok));
+                }
+            }
+        }
+        best.expect("tiling candidate list is never empty").0
+    }
+
+    /// Schedules every CONV layer of a network, then applies inter-layer
+    /// activation forwarding.
+    pub fn schedule_network(&self, net: &Network) -> NetworkSchedule {
+        let mut layers: Vec<LayerSchedule> = net
+            .conv_layers()
+            .map(|c| self.schedule_layer(&SchedLayer::from_conv(c)))
+            .collect();
+        if self.interlayer_forwarding {
+            self.apply_forwarding(net, &mut layers);
+        }
+        NetworkSchedule { network: net.name().to_string(), layers }
+    }
+
+    /// Inter-layer activation residency: when a layer's activations fit in
+    /// the unified buffer alongside both the producer's and the consumer's
+    /// resident sets, they never round-trip through DRAM. This is what
+    /// large eDRAM buffers buy (§V-C: DaDianNao's 36 MB "stores all the
+    /// intermediate data and alleviates all the extra off-chip memory
+    /// access"); pooling between CONV layers shrinks the forwarded volume
+    /// (pooling executes inside the PEs, §II-B). The producer is
+    /// approximated as the preceding CONV layer — exact for chains,
+    /// conservative-in-size for residual/inception branches (DESIGN.md).
+    fn apply_forwarding(&self, net: &Network, layers: &mut [LayerSchedule]) {
+        let capacity = self.cfg.buffer.capacity_words();
+        let convs: Vec<_> = net.conv_layers().collect();
+        for j in 1..layers.len() {
+            let full_in = convs[j].input_words();
+            let (prod, cons) = {
+                let (a, b) = layers.split_at_mut(j);
+                (&mut a[j - 1], &mut b[0])
+            };
+            // Consumer must hold its whole input beside its other residents.
+            let cons_resident =
+                cons.sim.storage.total() - cons.sim.storage.input_words.min(full_in) + full_in;
+            // Producer must hold the (post-pooling) activation beside its
+            // other residents at the end of its execution.
+            let prod_resident =
+                prod.sim.storage.total() - prod.sim.storage.output_words.min(full_in) + full_in;
+            if cons_resident > capacity || prod_resident > capacity {
+                continue;
+            }
+            prod.sim.traffic.dram_output_stores =
+                prod.sim.traffic.dram_output_stores.saturating_sub(full_in);
+            cons.sim.traffic.dram_input_loads = 0;
+            prod.energy = self.model.layer_energy(&prod.sim, prod.refresh_words, &self.cfg);
+            cons.energy = self.model.layer_energy(&cons.sim, cons.refresh_words, &self.cfg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rana_accel::ControllerKind;
+    use rana_zoo::{resnet50, vgg16};
+
+    fn rana_45() -> Scheduler {
+        Scheduler::rana(AcceleratorConfig::paper_edram(), RefreshModel::conventional_45us())
+    }
+
+    #[test]
+    fn schedule_respects_core_constraints() {
+        let s = rana_45();
+        let l = SchedLayer::from_conv(resnet50().conv("res4a_branch1").unwrap());
+        let sched = s.schedule_layer(&l);
+        assert!(sched.sim.tiling.fits_core(&l, &s.cfg));
+    }
+
+    #[test]
+    fn vgg_shallow_layers_prefer_wd() {
+        // §V-B3: VGG layers 2-8 exceed the eDRAM capacity under OD; WD wins.
+        let s = rana_45();
+        let l = SchedLayer::from_conv(vgg16().conv("conv1_2").unwrap());
+        let sched = s.schedule_layer(&l);
+        assert_eq!(sched.sim.pattern, Pattern::Wd, "conv1_2 should pick WD");
+        assert!(sched.sim.fits_buffer);
+    }
+
+    #[test]
+    fn deep_layers_prefer_od() {
+        let s = rana_45();
+        let l = SchedLayer::from_conv(vgg16().conv("conv5_3").unwrap());
+        let sched = s.schedule_layer(&l);
+        assert_eq!(sched.sim.pattern, Pattern::Od, "conv5_3 should pick OD");
+    }
+
+    #[test]
+    fn hybrid_beats_pure_od_on_vgg() {
+        // §V-B1: RANA(0) total energy is below eD+OD.
+        let net = vgg16();
+        let hybrid = rana_45().schedule_network(&net);
+        let pure_od = Scheduler::fixed_pattern(
+            AcceleratorConfig::paper_edram(),
+            RefreshModel::conventional_45us(),
+            Pattern::Od,
+        )
+        .schedule_network(&net);
+        assert!(
+            hybrid.total_energy().total_j() < pure_od.total_energy().total_j(),
+            "hybrid {} >= OD {}",
+            hybrid.total_energy().total_j(),
+            pure_od.total_energy().total_j()
+        );
+        let (_, od, wd) = hybrid.pattern_histogram();
+        assert!(od > 0 && wd > 0, "a hybrid schedule should mix patterns: od={od} wd={wd}");
+    }
+
+    #[test]
+    fn longer_retention_cannot_increase_energy() {
+        let net = resnet50();
+        let e45 = rana_45().schedule_network(&net).total_energy();
+        let s734 = Scheduler::rana(
+            AcceleratorConfig::paper_edram(),
+            RefreshModel { interval_us: 734.0, kind: ControllerKind::Conventional },
+        );
+        let e734 = s734.schedule_network(&net).total_energy();
+        assert!(e734.refresh_j <= e45.refresh_j + 1e-12);
+        assert!(e734.total_j() <= e45.total_j() + 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_constraint_steers_away_from_spills() {
+        // VGG conv1_2 under pure OD spills partial sums; on a crippled
+        // channel the constrained scheduler must find a compute-bound
+        // schedule (WD fits and streams far less).
+        use rana_accel::dram::{Ddr3Model, LayerPerformance};
+        let l = SchedLayer::from_conv(vgg16().conv("conv1_2").unwrap());
+        let slow = Ddr3Model::ddr3_1600().scaled(0.1);
+
+        let mut unconstrained = Scheduler::fixed_pattern(
+            AcceleratorConfig::paper_edram(),
+            RefreshModel::conventional_45us(),
+            Pattern::Od,
+        );
+        unconstrained.fixed_tiling = Some(Tiling::new(16, 16, 1, 16));
+        let a = unconstrained.schedule_layer(&l);
+        assert!(
+            LayerPerformance::of(&a.sim, &slow).memory_bound(),
+            "natural-tiling OD (with its partial-sum spills) should be memory-bound"
+        );
+
+        let mut constrained = rana_45();
+        constrained.bandwidth = Some(slow);
+        let b = constrained.schedule_layer(&l);
+        assert!(
+            !LayerPerformance::of(&b.sim, &slow).memory_bound(),
+            "constrained schedule must stay compute-bound ({} {})",
+            b.sim.pattern,
+            b.sim.tiling
+        );
+    }
+
+    #[test]
+    fn fixed_tiling_is_honored() {
+        let mut s = rana_45();
+        s.cfg = AcceleratorConfig::dadiannao();
+        s.fixed_tiling = Some(Tiling::new(64, 64, 1, 1));
+        let l = SchedLayer::from_conv(vgg16().conv("conv4_2").unwrap());
+        let sched = s.schedule_layer(&l);
+        assert_eq!(sched.sim.tiling, Tiling::new(64, 64, 1, 1));
+    }
+}

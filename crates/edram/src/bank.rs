@@ -1,0 +1,320 @@
+//! Functional banked eDRAM array with retention-fault injection.
+//!
+//! Each cell's retention time is drawn (deterministically, from a hash of
+//! its address) from a [`RetentionDistribution`]. A read resolves the stored
+//! word against the time elapsed since it was last written or refreshed: a
+//! bit whose cell retention is shorter than that age reads back a random
+//! value (paper §IV-B). A refresh *re-writes whatever is currently
+//! resolvable* — refreshing too late locks corrupted bits in, exactly as in
+//! hardware.
+//!
+//! Time is carried explicitly by the caller in microseconds, so the model
+//! works both for the cycle simulator (which converts cycles to µs) and for
+//! standalone fault-injection studies.
+
+use crate::retention::RetentionDistribution;
+use crate::stats::MemoryStats;
+
+/// A banked eDRAM array with per-word write timestamps.
+///
+/// # Example
+///
+/// ```
+/// use rana_edram::{EdramArray, RetentionDistribution};
+///
+/// let mut mem = EdramArray::new(2, 1024, RetentionDistribution::kong2008(), 42);
+/// mem.write(10, 0x1234, 0.0);
+/// // Read well within retention: intact.
+/// assert_eq!(mem.read(10, 10.0), 0x1234);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EdramArray {
+    num_banks: usize,
+    bank_words: usize,
+    words: Vec<i16>,
+    /// Time of last write or refresh per word; `NEG_INFINITY` = never
+    /// written (reads as an aged-out cell).
+    written_at: Vec<f64>,
+    dist: RetentionDistribution,
+    seed: u64,
+    stats: MemoryStats,
+    /// One-entry memo for the age → failure-rate lookup: reads within a
+    /// tile share their timestamp, so this removes nearly all of the
+    /// log-space interpolation cost.
+    cached_age: f64,
+    cached_rate: f64,
+}
+
+impl EdramArray {
+    /// Creates an array of `num_banks` banks of `bank_words` 16-bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(num_banks: usize, bank_words: usize, dist: RetentionDistribution, seed: u64) -> Self {
+        assert!(num_banks > 0 && bank_words > 0, "array dimensions must be positive");
+        let total = num_banks * bank_words;
+        Self {
+            num_banks,
+            bank_words,
+            words: vec![0; total],
+            written_at: vec![f64::NEG_INFINITY; total],
+            dist,
+            seed,
+            stats: MemoryStats::default(),
+            cached_age: f64::NAN,
+            cached_rate: 0.0,
+        }
+    }
+
+    /// Total capacity in 16-bit words.
+    pub fn capacity_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Number of banks.
+    pub fn num_banks(&self) -> usize {
+        self.num_banks
+    }
+
+    /// Words per bank.
+    pub fn bank_words(&self) -> usize {
+        self.bank_words
+    }
+
+    /// The bank containing word address `addr`.
+    pub fn bank_of(&self, addr: usize) -> usize {
+        addr / self.bank_words
+    }
+
+    /// Access statistics accumulated so far.
+    pub fn stats(&self) -> &MemoryStats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = MemoryStats::default();
+    }
+
+    /// Writes a word, recharging its cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    pub fn write(&mut self, addr: usize, value: i16, now_us: f64) {
+        self.words[addr] = value;
+        self.written_at[addr] = now_us;
+        self.stats.writes += 1;
+    }
+
+    /// Writes a slice of words starting at `addr`.
+    pub fn write_slice(&mut self, addr: usize, values: &[i16], now_us: f64) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write(addr + i, v, now_us);
+        }
+    }
+
+    /// Reads a word, injecting retention faults for cells older than their
+    /// sampled retention time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    pub fn read(&mut self, addr: usize, now_us: f64) -> i16 {
+        self.stats.reads += 1;
+        let (value, faults) = self.resolve(addr, now_us);
+        self.stats.faults += faults;
+        value
+    }
+
+    /// Reads a slice of words starting at `addr`.
+    pub fn read_slice(&mut self, addr: usize, len: usize, now_us: f64) -> Vec<i16> {
+        (0..len).map(|i| self.read(addr + i, now_us)).collect()
+    }
+
+    /// Refreshes one bank: every word is resolved at `now_us` (late
+    /// refreshes lock corrupted bits in) and re-written. Returns the number
+    /// of refreshed words.
+    pub fn refresh_bank(&mut self, bank: usize, now_us: f64) -> usize {
+        assert!(bank < self.num_banks, "bank {bank} out of range");
+        let start = bank * self.bank_words;
+        for addr in start..start + self.bank_words {
+            if self.written_at[addr] != f64::NEG_INFINITY {
+                let (value, faults) = self.resolve(addr, now_us);
+                self.words[addr] = value;
+                self.written_at[addr] = now_us;
+                self.stats.faults += faults;
+            }
+        }
+        self.stats.refresh_words += self.bank_words as u64;
+        self.bank_words
+    }
+
+    /// Resolves the current value of `addr` at `now_us` without counting a
+    /// read: applies a random value to every bit whose cell has aged past
+    /// its retention time. Returns `(value, corrupted_bit_count)`.
+    ///
+    /// Rates below 10⁻⁹ per bit are treated as zero — even a billion bit
+    /// reads would expect no flip — which keeps young-data reads cheap.
+    fn resolve(&mut self, addr: usize, now_us: f64) -> (i16, u32) {
+        let age = now_us - self.written_at[addr];
+        if age <= 0.0 {
+            return (self.words[addr], 0);
+        }
+        let rate = if age == self.cached_age {
+            self.cached_rate
+        } else {
+            let r = self.dist.failure_rate(age);
+            self.cached_age = age;
+            self.cached_rate = r;
+            r
+        };
+        if rate <= 1e-9 {
+            return (self.words[addr], 0);
+        }
+        let mut value = self.words[addr] as u16;
+        let mut faults = 0;
+        // A write epoch keys the "random" value a failed cell reads, so two
+        // reads of the same decayed cell agree but a rewrite re-rolls it.
+        let epoch = self.written_at[addr].to_bits();
+        for bit in 0..16u32 {
+            let q = hash01(self.seed, addr as u64, u64::from(bit));
+            if q < rate {
+                let random_bit = (hash01(self.seed ^ 0x9E37_79B9_7F4A_7C15, addr as u64 ^ epoch, u64::from(bit)) > 0.5) as u16;
+                let old = (value >> bit) & 1;
+                if old != random_bit {
+                    faults += 1;
+                }
+                value = (value & !(1 << bit)) | (random_bit << bit);
+            }
+        }
+        (value as i16, faults)
+    }
+}
+
+/// SplitMix64-style hash of three values onto `[0, 1)`.
+fn hash01(a: u64, b: u64, c: u64) -> f64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> EdramArray {
+        EdramArray::new(4, 256, RetentionDistribution::kong2008(), 7)
+    }
+
+    #[test]
+    fn fresh_data_reads_intact() {
+        let mut m = array();
+        for addr in 0..64 {
+            m.write(addr, (addr as i16).wrapping_mul(321), 0.0);
+        }
+        for addr in 0..64 {
+            assert_eq!(m.read(addr, 40.0), (addr as i16).wrapping_mul(321));
+        }
+        assert_eq!(m.stats().faults, 0);
+    }
+
+    #[test]
+    fn ancient_data_corrupts() {
+        let mut m = array();
+        let n = 1024;
+        // Fill every word of the array.
+        for addr in 0..n {
+            m.write(addr, 0x5555, 0.0);
+        }
+        // Age far beyond the distribution's tail: every cell failed.
+        let mut corrupted = 0;
+        for addr in 0..n {
+            if m.read(addr, 1e9) != 0x5555 {
+                corrupted += 1;
+            }
+        }
+        // All bits random => P(word intact) = 2^-16; essentially all differ.
+        assert!(corrupted > n - 5, "only {corrupted}/{n} corrupted");
+    }
+
+    #[test]
+    fn moderate_age_corrupts_statistically() {
+        let mut m = EdramArray::new(16, 4096, RetentionDistribution::kong2008(), 3);
+        let n = 16 * 4096;
+        for addr in 0..n {
+            m.write(addr, 0, 0.0);
+        }
+        // Age = 2.4 ms -> failure rate 1e-4 per bit, expect ~ n*16*1e-4/2
+        // flipped bits (half of randomized bits flip a zero word).
+        for addr in 0..n {
+            m.read(addr, 2400.0);
+        }
+        let faults = m.stats().faults;
+        // resolve() counts actually-changed bits.
+        let expected = n as f64 * 16.0 * 1e-4 / 2.0;
+        assert!(
+            (faults as f64 - expected).abs() < expected * 0.5 + 5.0,
+            "faults {faults}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn timely_refresh_preserves_data() {
+        let mut m = array();
+        m.write(0, 0x7ABC, 0.0);
+        let mut t = 0.0;
+        // Refresh every 40 µs for 100 intervals; data must survive.
+        for _ in 0..100 {
+            t += 40.0;
+            m.refresh_bank(0, t);
+        }
+        assert_eq!(m.read(0, t + 10.0), 0x7ABC);
+    }
+
+    #[test]
+    fn decayed_reads_are_repeatable() {
+        let mut m = array();
+        m.write(5, 0x0F0F, 0.0);
+        let a = m.read(5, 1e8);
+        let b = m.read(5, 1e8);
+        assert_eq!(a, b, "same decayed cell must read the same random value");
+    }
+
+    #[test]
+    fn refresh_counts_words() {
+        let mut m = array();
+        m.refresh_bank(2, 0.0);
+        assert_eq!(m.stats().refresh_words, 256);
+    }
+
+    #[test]
+    fn bank_mapping() {
+        let m = array();
+        assert_eq!(m.bank_of(0), 0);
+        assert_eq!(m.bank_of(255), 0);
+        assert_eq!(m.bank_of(256), 1);
+        assert_eq!(m.capacity_words(), 1024);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        array().write(4096, 0, 0.0);
+    }
+
+    #[test]
+    fn hash01_is_uniformish() {
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|i| hash01(1, i, 2)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Retention binning — a RAIDR-style extension beyond the paper.
+//!
+//! RANA programs *one* refresh interval (the network's tolerable retention
+//! time) into the clock divider. But retention varies per bank: the
+//! per-cell distribution (Figure 8) implies a distribution of per-bank
+//! *weakest cells* via order statistics, and banks whose weakest cell is
+//! strong could be refreshed less often — the idea behind RAIDR (Liu et
+//! al., ISCA 2012) for commodity DRAM. This module quantifies what
+//! per-bank interval binning would add on top of RANA:
+//!
+//! * [`bank_weakest_cdf`] — probability a bank's weakest cell retains less
+//!   than `t`: `G(t) = 1 − (1 − F(t))^B` for a `B`-bit bank.
+//! * [`plan_bins`] — partition banks into `k` interval bins at a target
+//!   per-bank failure confidence and report the refresh-rate saving over
+//!   a single worst-case interval.
+
+use crate::retention::RetentionDistribution;
+
+/// Bits in a 32 KB bank.
+pub const BANK_BITS_32KB: u64 = 32 * 1024 * 8;
+
+/// CDF of a bank's weakest-cell retention time: the probability that at
+/// least one of `bank_bits` cells retains less than `t_us`.
+///
+/// # Example
+///
+/// ```
+/// use rana_edram::binning::{bank_weakest_cdf, plan_bins, BANK_BITS_32KB};
+/// use rana_edram::RetentionDistribution;
+/// let dist = RetentionDistribution::kong2008();
+/// // About half of all 32 KB banks have a cell weaker than ~45 µs.
+/// let g = bank_weakest_cdf(&dist, BANK_BITS_32KB, 45.0);
+/// assert!((0.3..0.8).contains(&g));
+/// // Four interval bins cut the average refresh rate by ~25%.
+/// let plan = plan_bins(&dist, BANK_BITS_32KB, 45.0, 4).unwrap();
+/// assert!(plan.relative_refresh_rate < 0.85);
+/// ```
+pub fn bank_weakest_cdf(dist: &RetentionDistribution, bank_bits: u64, t_us: f64) -> f64 {
+    let f = dist.failure_rate(t_us);
+    1.0 - (1.0 - f).powf(bank_bits as f64)
+}
+
+/// The retention time below which a fraction `q` of banks have their
+/// weakest cell (inverse of [`bank_weakest_cdf`], by bisection).
+pub fn bank_weakest_quantile(dist: &RetentionDistribution, bank_bits: u64, q: f64) -> f64 {
+    assert!((0.0..1.0).contains(&q), "quantile must be in [0, 1), got {q}");
+    let (mut lo, mut hi) = (1e-3f64, 1e9f64);
+    for _ in 0..200 {
+        let mid = (lo * hi).sqrt();
+        if bank_weakest_cdf(dist, bank_bits, mid) < q {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo * hi).sqrt()
+}
+
+/// One refresh bin: banks whose weakest cell lies in this interval class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bin {
+    /// Refresh interval for banks in this bin, µs.
+    pub interval_us: f64,
+    /// Fraction of banks assigned to the bin.
+    pub bank_fraction: f64,
+}
+
+/// A per-bank interval plan plus its savings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinningPlan {
+    /// The bins, weakest first.
+    pub bins: Vec<Bin>,
+    /// Refresh-rate (operations per second per bank, averaged) relative to
+    /// refreshing every bank at the first bin's interval: < 1.0 is a
+    /// saving.
+    pub relative_refresh_rate: f64,
+}
+
+/// Plans `k` refresh bins over the bank population.
+///
+/// `base_interval_us` is the worst-case (bin-0) interval — RANA's
+/// tolerable retention time, or the 45 µs typical time. Each subsequent
+/// bin doubles the interval; a bank lands in the longest bin whose
+/// interval its weakest cell still covers. Returns `None` when `k == 0`.
+pub fn plan_bins(
+    dist: &RetentionDistribution,
+    bank_bits: u64,
+    base_interval_us: f64,
+    k: usize,
+) -> Option<BinningPlan> {
+    if k == 0 {
+        return None;
+    }
+    let mut bins = Vec::with_capacity(k);
+    let mut covered = 0.0f64;
+    for i in 0..k {
+        let interval = base_interval_us * 2f64.powi(i as i32);
+        let frac_below_next = if i + 1 < k {
+            bank_weakest_cdf(dist, bank_bits, interval * 2.0)
+        } else {
+            1.0
+        };
+        // Banks whose weakest cell is at least `interval` but (for
+        // non-final bins) below the next doubling stay in this bin; the
+        // first bin also absorbs every bank weaker than the base interval
+        // (they must be refreshed at least that often — same worst-case
+        // assumption as the baseline).
+        let fraction = (frac_below_next - covered).max(0.0);
+        covered = frac_below_next;
+        bins.push(Bin { interval_us: interval, bank_fraction: fraction });
+    }
+    // Bin i holds banks whose weakest cell lies in [interval_i, interval_{i+1});
+    // each is refreshed at its bin's interval, so the average refresh rate
+    // is sum(frac_i / interval_i).
+    let rate: f64 = bins.iter().map(|b| b.bank_fraction / b.interval_us).sum();
+    let base_rate = 1.0 / base_interval_us;
+    Some(BinningPlan { bins, relative_refresh_rate: rate / base_rate })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weakest_cell_of_a_32kb_bank_is_near_45us() {
+        // The paper's reading of [6]: "for a 32KB-eDRAM buffer, the
+        // weakest cell typically appears at the 45 µs point". The median
+        // of the per-bank weakest-cell distribution should be in that
+        // neighbourhood.
+        let dist = RetentionDistribution::kong2008();
+        let median = bank_weakest_quantile(&dist, BANK_BITS_32KB, 0.5);
+        assert!(
+            (20.0..200.0).contains(&median),
+            "median weakest cell {median} us should be around the 45 us point"
+        );
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let dist = RetentionDistribution::kong2008();
+        let mut prev = 0.0;
+        for t in [10.0, 45.0, 100.0, 500.0, 2000.0, 20_000.0] {
+            let g = bank_weakest_cdf(&dist, BANK_BITS_32KB, t);
+            assert!((0.0..=1.0).contains(&g));
+            assert!(g >= prev);
+            prev = g;
+        }
+        assert!(prev > 0.999, "every bank's weakest cell is below the tail");
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let dist = RetentionDistribution::kong2008();
+        for q in [0.1, 0.5, 0.9] {
+            let t = bank_weakest_quantile(&dist, BANK_BITS_32KB, q);
+            let back = bank_weakest_cdf(&dist, BANK_BITS_32KB, t);
+            assert!((back - q).abs() < 0.01, "q {q}: t {t}, back {back}");
+        }
+    }
+
+    #[test]
+    fn binning_saves_refresh() {
+        let dist = RetentionDistribution::kong2008();
+        let plan = plan_bins(&dist, BANK_BITS_32KB, 45.0, 4).unwrap();
+        assert_eq!(plan.bins.len(), 4);
+        let total: f64 = plan.bins.iter().map(|b| b.bank_fraction).sum();
+        assert!((total - 1.0).abs() < 1e-9, "fractions sum to 1, got {total}");
+        assert!(
+            plan.relative_refresh_rate < 0.85,
+            "4 bins should save >15%, got rate {}",
+            plan.relative_refresh_rate
+        );
+        // More bins never hurt.
+        let plan8 = plan_bins(&dist, BANK_BITS_32KB, 45.0, 8).unwrap();
+        assert!(plan8.relative_refresh_rate <= plan.relative_refresh_rate + 1e-12);
+    }
+
+    #[test]
+    fn single_bin_is_the_baseline() {
+        let dist = RetentionDistribution::kong2008();
+        let plan = plan_bins(&dist, BANK_BITS_32KB, 45.0, 1).unwrap();
+        assert!((plan.relative_refresh_rate - 1.0).abs() < 1e-9);
+        assert!(plan_bins(&dist, BANK_BITS_32KB, 45.0, 0).is_none());
+    }
+}

@@ -1,0 +1,223 @@
+//! Unified buffer system: bank allocation per data type (paper §IV-D1).
+//!
+//! The hybrid computation pattern needs different splits of the on-chip
+//! buffer between inputs, outputs and weights: OD layers dedicate most banks
+//! to outputs, WD layers to weights. A unified buffer lets the data mapping
+//! be adjusted between layers instead of fixing per-type buffer capacities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// The three on-chip data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Input feature maps.
+    Input,
+    /// Output feature maps / partial sums.
+    Output,
+    /// Kernel weights.
+    Weight,
+}
+
+impl DataType {
+    /// All three data types.
+    pub const ALL: [DataType; 3] = [DataType::Input, DataType::Output, DataType::Weight];
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Input => write!(f, "inputs"),
+            DataType::Output => write!(f, "outputs"),
+            DataType::Weight => write!(f, "weights"),
+        }
+    }
+}
+
+/// Bank ranges assigned to each data type for one layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankAllocation {
+    /// Banks holding inputs.
+    pub input_banks: Range<usize>,
+    /// Banks holding outputs.
+    pub output_banks: Range<usize>,
+    /// Banks holding weights.
+    pub weight_banks: Range<usize>,
+    /// Total banks in the buffer.
+    pub total_banks: usize,
+}
+
+impl BankAllocation {
+    /// The bank range of a data type.
+    pub fn banks(&self, ty: DataType) -> Range<usize> {
+        match ty {
+            DataType::Input => self.input_banks.clone(),
+            DataType::Output => self.output_banks.clone(),
+            DataType::Weight => self.weight_banks.clone(),
+        }
+    }
+
+    /// Banks assigned to no data type.
+    pub fn unused_banks(&self) -> usize {
+        self.total_banks - self.input_banks.len() - self.output_banks.len() - self.weight_banks.len()
+    }
+
+    /// Builds per-bank refresh flags: a bank's flag is set iff its data type
+    /// `needs_refresh`; unused banks are always disabled (paper §IV-D2).
+    pub fn refresh_flags(&self, needs_refresh: impl Fn(DataType) -> bool) -> Vec<bool> {
+        let mut flags = vec![false; self.total_banks];
+        for ty in DataType::ALL {
+            if needs_refresh(ty) {
+                for b in self.banks(ty) {
+                    flags[b] = true;
+                }
+            }
+        }
+        flags
+    }
+}
+
+/// Allocation failure: the three storage requirements do not fit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocError {
+    /// Banks required.
+    pub required_banks: usize,
+    /// Banks available.
+    pub available_banks: usize,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "buffer overflow: need {} banks, have {}",
+            self.required_banks, self.available_banks
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// The unified on-chip buffer: geometry plus an allocator.
+///
+/// # Example
+///
+/// ```
+/// use rana_edram::{DataType, UnifiedBuffer};
+/// let buf = UnifiedBuffer::new(44, 16 * 1024); // the paper's 1.44 MB eDRAM
+/// let alloc = buf.allocate(100_000, 200_000, 50_000).unwrap();
+/// assert!(alloc.banks(DataType::Output).len() >= 13);
+/// assert_eq!(alloc.unused_banks(), 44 - 7 - 13 - 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnifiedBuffer {
+    num_banks: usize,
+    bank_words: usize,
+}
+
+impl UnifiedBuffer {
+    /// Creates a buffer of `num_banks` banks of `bank_words` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(num_banks: usize, bank_words: usize) -> Self {
+        assert!(num_banks > 0 && bank_words > 0, "buffer dimensions must be positive");
+        Self { num_banks, bank_words }
+    }
+
+    /// Number of banks.
+    pub fn num_banks(&self) -> usize {
+        self.num_banks
+    }
+
+    /// Words per bank.
+    pub fn bank_words(&self) -> usize {
+        self.bank_words
+    }
+
+    /// Total capacity in 16-bit words.
+    pub fn capacity_words(&self) -> u64 {
+        (self.num_banks * self.bank_words) as u64
+    }
+
+    /// Allocates contiguous bank ranges for the three storage requirements
+    /// (in words), inputs first, then outputs, then weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if the requirements exceed the bank count.
+    pub fn allocate(&self, input_words: u64, output_words: u64, weight_words: u64) -> Result<BankAllocation, AllocError> {
+        let banks_for = |words: u64| (words as usize).div_ceil(self.bank_words);
+        let bi = banks_for(input_words);
+        let bo = banks_for(output_words);
+        let bw = banks_for(weight_words);
+        let required = bi + bo + bw;
+        if required > self.num_banks {
+            return Err(AllocError { required_banks: required, available_banks: self.num_banks });
+        }
+        Ok(BankAllocation {
+            input_banks: 0..bi,
+            output_banks: bi..bi + bo,
+            weight_banks: bi + bo..required,
+            total_banks: self.num_banks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_rounds_up_to_banks() {
+        let buf = UnifiedBuffer::new(10, 100);
+        let a = buf.allocate(150, 90, 301).unwrap();
+        assert_eq!(a.input_banks, 0..2);
+        assert_eq!(a.output_banks, 2..3);
+        assert_eq!(a.weight_banks, 3..7);
+        assert_eq!(a.unused_banks(), 3);
+    }
+
+    #[test]
+    fn zero_sized_types_take_no_banks() {
+        let buf = UnifiedBuffer::new(4, 100);
+        let a = buf.allocate(0, 400, 0).unwrap();
+        assert!(a.input_banks.is_empty());
+        assert_eq!(a.output_banks, 0..4);
+        assert!(a.weight_banks.is_empty());
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let buf = UnifiedBuffer::new(4, 100);
+        let err = buf.allocate(300, 300, 300).unwrap_err();
+        assert_eq!(err.required_banks, 9);
+        assert_eq!(err.available_banks, 4);
+        assert!(err.to_string().contains("overflow"));
+    }
+
+    #[test]
+    fn refresh_flags_follow_types_and_skip_unused() {
+        let buf = UnifiedBuffer::new(8, 100);
+        let a = buf.allocate(200, 100, 100).unwrap();
+        // Only inputs need refresh.
+        let flags = a.refresh_flags(|ty| ty == DataType::Input);
+        assert_eq!(flags, vec![true, true, false, false, false, false, false, false]);
+        // Everything needs refresh: unused banks still disabled.
+        let flags = a.refresh_flags(|_| true);
+        assert_eq!(flags.iter().filter(|&&f| f).count(), 4);
+    }
+
+    #[test]
+    fn capacity() {
+        assert_eq!(UnifiedBuffer::new(44, 16 * 1024).capacity_words(), 720_896);
+    }
+
+    #[test]
+    fn datatype_display() {
+        assert_eq!(DataType::Input.to_string(), "inputs");
+        assert_eq!(DataType::ALL.len(), 3);
+    }
+}

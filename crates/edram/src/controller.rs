@@ -1,0 +1,334 @@
+//! Refresh controllers: the conventional all-banks controller and RANA's
+//! refresh-optimized controller (paper §IV-D, Figure 14).
+//!
+//! The controller derives a refresh pulse from the accelerator's reference
+//! clock through a *programmable clock divider*; the pulse period equals the
+//! (tolerable) retention time. At every pulse, the conventional controller
+//! refreshes every bank; the optimized controller consults per-bank
+//! *refresh flags* loaded from the layer's configuration and skips disabled
+//! banks — banks holding no data, or data whose lifetime is below the
+//! tolerable retention time.
+
+use crate::bank::EdramArray;
+use serde::{Deserialize, Serialize};
+
+/// Programmable divider turning the accelerator reference clock into the
+/// refresh pulse.
+///
+/// # Example
+///
+/// ```
+/// use rana_edram::ClockDivider;
+/// // 200 MHz reference, 734 µs tolerable retention time.
+/// let div = ClockDivider::for_interval(200e6, 734.0);
+/// assert_eq!(div.ratio(), 146_800);
+/// assert!((div.pulse_period_us(200e6) - 734.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockDivider {
+    ratio: u64,
+}
+
+impl ClockDivider {
+    /// Divider ratio producing (at least) `interval_us` between pulses on a
+    /// `ref_clock_hz` clock. Rounds down (a slightly early refresh is always
+    /// safe) but never below 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are positive.
+    pub fn for_interval(ref_clock_hz: f64, interval_us: f64) -> Self {
+        assert!(ref_clock_hz > 0.0 && interval_us > 0.0, "clock and interval must be positive");
+        let ratio = (ref_clock_hz * interval_us * 1e-6).floor().max(1.0) as u64;
+        Self { ratio }
+    }
+
+    /// The divider ratio in reference-clock cycles.
+    pub fn ratio(&self) -> u64 {
+        self.ratio
+    }
+
+    /// Resulting pulse period in µs on a `ref_clock_hz` clock.
+    pub fn pulse_period_us(&self, ref_clock_hz: f64) -> f64 {
+        self.ratio as f64 / ref_clock_hz * 1e6
+    }
+}
+
+/// Which banks a refresh pulse touches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RefreshPolicy {
+    /// Conventional eDRAM: every bank refreshed at every pulse, whether it
+    /// stores data or not.
+    ConventionalAll,
+    /// RANA's optimized controller: only banks whose flag is set.
+    Flagged(Vec<bool>),
+    /// Retention binning (see [`crate::binning`]): each bank has its own
+    /// interval as a multiple of the base pulse period; bank `b` is
+    /// refreshed at pulse `k` iff `k % multiple[b] == 0`. A multiple of 0
+    /// disables the bank.
+    BinnedMultiples(Vec<u32>),
+}
+
+impl RefreshPolicy {
+    /// Whether `bank` is refreshed at pulse index `pulse` (1-based).
+    pub fn refreshes_at(&self, bank: usize, pulse: u64) -> bool {
+        match self {
+            RefreshPolicy::ConventionalAll => true,
+            RefreshPolicy::Flagged(flags) => flags.get(bank).copied().unwrap_or(false),
+            RefreshPolicy::BinnedMultiples(m) => match m.get(bank).copied().unwrap_or(0) {
+                0 => false,
+                mult => pulse % u64::from(mult) == 0,
+            },
+        }
+    }
+
+    /// Whether `bank` is ever refreshed (at the first pulse it qualifies
+    /// for; used by pulse-index-agnostic accounting).
+    pub fn refreshes(&self, bank: usize) -> bool {
+        match self {
+            RefreshPolicy::BinnedMultiples(m) => m.get(bank).copied().unwrap_or(0) != 0,
+            _ => self.refreshes_at(bank, 1),
+        }
+    }
+
+    /// Average banks refreshed per base pulse, given `num_banks` total.
+    pub fn banks_per_pulse(&self, num_banks: usize) -> usize {
+        match self {
+            RefreshPolicy::ConventionalAll => num_banks,
+            RefreshPolicy::Flagged(flags) => flags.iter().take(num_banks).filter(|&&f| f).count(),
+            RefreshPolicy::BinnedMultiples(m) => (0..num_banks)
+                .filter(|&b| m.get(b).copied().unwrap_or(0) == 1)
+                .count(),
+        }
+    }
+}
+
+/// A refresh controller: pulse interval plus per-pulse bank policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RefreshConfig {
+    /// Pulse period in µs (= the tolerable retention time).
+    pub interval_us: f64,
+    /// Bank selection policy.
+    pub policy: RefreshPolicy,
+}
+
+impl RefreshConfig {
+    /// Conventional controller at the given interval.
+    pub fn conventional(interval_us: f64) -> Self {
+        Self { interval_us, policy: RefreshPolicy::ConventionalAll }
+    }
+
+    /// Optimized controller with explicit flags.
+    pub fn flagged(interval_us: f64, flags: Vec<bool>) -> Self {
+        Self { interval_us, policy: RefreshPolicy::Flagged(flags) }
+    }
+
+    /// Pulse times in `(from_us, to_us]` on the global pulse grid
+    /// (pulses at integer multiples of the interval).
+    pub fn pulses_between(&self, from_us: f64, to_us: f64) -> impl Iterator<Item = f64> + '_ {
+        let interval = self.interval_us;
+        let first = (from_us / interval).floor() as i64 + 1;
+        let last = (to_us / interval).floor() as i64;
+        (first..=last).map(move |k| k as f64 * interval)
+    }
+
+    /// Number of pulses in `(from_us, to_us]`.
+    pub fn pulse_count(&self, from_us: f64, to_us: f64) -> u64 {
+        let first = (from_us / self.interval_us).floor() as i64 + 1;
+        let last = (to_us / self.interval_us).floor() as i64;
+        (last - first + 1).max(0) as u64
+    }
+
+    /// Analytic refresh-word count over a window: pulses × flagged banks ×
+    /// bank words.
+    pub fn refresh_words_between(&self, from_us: f64, to_us: f64, num_banks: usize, bank_words: usize) -> u64 {
+        self.pulse_count(from_us, to_us) * self.policy.banks_per_pulse(num_banks) as u64 * bank_words as u64
+    }
+}
+
+/// Drives an [`EdramArray`] through time, issuing refreshes at each pulse.
+///
+/// # Example
+///
+/// ```
+/// use rana_edram::{controller::RefreshIssuer, EdramArray, RefreshConfig, RetentionDistribution};
+///
+/// let mut mem = EdramArray::new(2, 64, RetentionDistribution::kong2008(), 1);
+/// mem.write(0, 42, 0.0);
+/// let mut issuer = RefreshIssuer::new(RefreshConfig::conventional(45.0));
+/// issuer.advance(&mut mem, 1000.0); // data survives 1 ms under refresh
+/// assert_eq!(mem.read(0, 1000.0), 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RefreshIssuer {
+    config: RefreshConfig,
+    now_us: f64,
+    issued_words: u64,
+}
+
+impl RefreshIssuer {
+    /// Creates an issuer at time zero.
+    pub fn new(config: RefreshConfig) -> Self {
+        Self { config, now_us: 0.0, issued_words: 0 }
+    }
+
+    /// Current time in µs.
+    pub fn now_us(&self) -> f64 {
+        self.now_us
+    }
+
+    /// Total refreshed words so far.
+    pub fn issued_words(&self) -> u64 {
+        self.issued_words
+    }
+
+    /// Replaces the per-bank flags (loaded between layers from the layerwise
+    /// configuration).
+    pub fn load_flags(&mut self, flags: Vec<bool>) {
+        self.config.policy = RefreshPolicy::Flagged(flags);
+    }
+
+    /// Advances time to `to_us`, refreshing eligible banks at every pulse
+    /// (binned banks only on their own multiples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if time would run backwards.
+    pub fn advance(&mut self, mem: &mut EdramArray, to_us: f64) {
+        assert!(to_us >= self.now_us, "time must be monotone");
+        let interval = self.config.interval_us;
+        let pulses: Vec<f64> = self.config.pulses_between(self.now_us, to_us).collect();
+        for pulse in pulses {
+            let pulse_idx = (pulse / interval).round() as u64;
+            for bank in 0..mem.num_banks() {
+                if self.config.policy.refreshes_at(bank, pulse_idx) {
+                    self.issued_words += mem.refresh_bank(bank, pulse) as u64;
+                }
+            }
+        }
+        self.now_us = to_us;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retention::RetentionDistribution;
+
+    #[test]
+    fn divider_ratio() {
+        let d = ClockDivider::for_interval(200e6, 45.0);
+        assert_eq!(d.ratio(), 9000);
+        assert!((d.pulse_period_us(200e6) - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pulse_counting() {
+        let c = RefreshConfig::conventional(45.0);
+        assert_eq!(c.pulse_count(0.0, 45.0), 1);
+        assert_eq!(c.pulse_count(0.0, 44.9), 0);
+        assert_eq!(c.pulse_count(0.0, 450.0), 10);
+        assert_eq!(c.pulse_count(45.0, 90.0), 1);
+        assert_eq!(c.pulse_count(10.0, 10.0), 0);
+    }
+
+    #[test]
+    fn pulses_land_on_grid() {
+        let c = RefreshConfig::conventional(100.0);
+        let pulses: Vec<f64> = c.pulses_between(50.0, 350.0).collect();
+        assert_eq!(pulses, vec![100.0, 200.0, 300.0]);
+    }
+
+    #[test]
+    fn flagged_policy_counts() {
+        let p = RefreshPolicy::Flagged(vec![true, false, true, false]);
+        assert_eq!(p.banks_per_pulse(4), 2);
+        assert!(p.refreshes(0));
+        assert!(!p.refreshes(1));
+        assert!(!p.refreshes(7), "missing flags default to disabled");
+        assert_eq!(RefreshPolicy::ConventionalAll.banks_per_pulse(4), 4);
+    }
+
+    #[test]
+    fn refresh_words_analytic() {
+        let c = RefreshConfig::flagged(45.0, vec![true, true, false]);
+        // 10 pulses x 2 banks x 100 words.
+        assert_eq!(c.refresh_words_between(0.0, 450.0, 3, 100), 2000);
+    }
+
+    #[test]
+    fn issuer_keeps_data_alive() {
+        let mut mem = EdramArray::new(2, 32, RetentionDistribution::kong2008(), 9);
+        mem.write(0, 123, 0.0);
+        mem.write(40, -77, 0.0);
+        let mut issuer = RefreshIssuer::new(RefreshConfig::conventional(45.0));
+        for step in 1..=200 {
+            issuer.advance(&mut mem, step as f64 * 25.0);
+        }
+        assert_eq!(mem.read(0, issuer.now_us()), 123);
+        assert_eq!(mem.read(40, issuer.now_us()), -77);
+        assert!(issuer.issued_words() > 0);
+    }
+
+    #[test]
+    fn unflagged_bank_decays() {
+        // Bank 1 disabled: its data decays over a long horizon while bank
+        // 0's survives.
+        let mut mem = EdramArray::new(2, 512, RetentionDistribution::kong2008(), 5);
+        for i in 0..512 {
+            mem.write(i, 0x2E2E, 0.0); // bank 0
+            mem.write(512 + i, 0x2E2E, 0.0); // bank 1
+        }
+        let mut issuer = RefreshIssuer::new(RefreshConfig::flagged(45.0, vec![true, false]));
+        let horizon = 2e5; // 200 ms: unrefreshed cells are far past the tail
+        issuer.advance(&mut mem, horizon);
+        let intact_b0 = (0..512).filter(|&i| mem.read(i, horizon) == 0x2E2E).count();
+        let intact_b1 = (0..512).filter(|&i| mem.read(512 + i, horizon) == 0x2E2E).count();
+        assert_eq!(intact_b0, 512, "refreshed bank must be intact");
+        assert!(intact_b1 < 10, "unrefreshed bank should be garbage, {intact_b1} intact");
+    }
+
+    #[test]
+    fn binned_policy_spaces_out_strong_banks() {
+        let p = RefreshPolicy::BinnedMultiples(vec![1, 2, 4, 0]);
+        // Bank 0: every pulse; bank 1: even pulses; bank 2: every 4th;
+        // bank 3: never.
+        assert!(p.refreshes_at(0, 1) && p.refreshes_at(0, 2));
+        assert!(!p.refreshes_at(1, 1) && p.refreshes_at(1, 2));
+        assert!(!p.refreshes_at(2, 2) && p.refreshes_at(2, 4));
+        assert!(!p.refreshes_at(3, 4));
+        assert!(p.refreshes(2) && !p.refreshes(3));
+        assert_eq!(p.banks_per_pulse(4), 1);
+    }
+
+    #[test]
+    fn binned_issuer_keeps_strong_banks_alive_with_fewer_refreshes() {
+        // Bank 1's cells are strong enough for a 2x interval: refresh it
+        // on even pulses only and the data still survives.
+        let dist = RetentionDistribution::from_anchors(vec![(100.0, 1e-7), (1000.0, 1.0)]).unwrap();
+        let mut mem = EdramArray::new(2, 64, dist, 21);
+        mem.write(0, 111, 0.0);
+        mem.write(64, 222, 0.0);
+        let mut issuer = RefreshIssuer::new(RefreshConfig {
+            interval_us: 45.0,
+            policy: RefreshPolicy::BinnedMultiples(vec![1, 2]),
+        });
+        issuer.advance(&mut mem, 5000.0);
+        assert_eq!(mem.read(0, 5000.0), 111);
+        assert_eq!(mem.read(64, 5000.0), 222, "90 us effective interval < 100 us retention");
+        // Bank 1 was refreshed about half as often as bank 0.
+        let total = issuer.issued_words();
+        let pulses = (5000.0f64 / 45.0).floor() as u64;
+        assert!(total < pulses * 128, "binning must save refreshes: {total}");
+        assert!(total > pulses * 64, "bank 0 alone accounts for {}", pulses * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn time_cannot_reverse() {
+        let mut mem = EdramArray::new(1, 8, RetentionDistribution::kong2008(), 1);
+        let mut issuer = RefreshIssuer::new(RefreshConfig::conventional(45.0));
+        issuer.advance(&mut mem, 100.0);
+        issuer.advance(&mut mem, 50.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! SECDED ECC — the alternative refresh-relaxation strategy.
+//!
+//! The paper cites Wilkerson et al. (ISCA 2010) \[28\]: error-correcting
+//! codes can also stretch the refresh interval, by *correcting* the weak
+//! cells instead of training the network to tolerate them. This module
+//! implements a (22,16) SECDED Hamming code — single-error correction,
+//! double-error detection per 16-bit word — and the analysis comparing it
+//! against RANA's retention-aware training:
+//!
+//! * ECC lets the raw per-bit failure rate rise until *two* failures per
+//!   word become likely, at the cost of 6 extra bits per word (37.5%
+//!   capacity and access/refresh energy overhead) and encode/decode logic.
+//! * Retention-aware training raises the tolerable rate with no storage
+//!   overhead, but needs the application to be error-resilient.
+//!
+//! The `exp_ablation` binary quantifies the trade.
+
+use serde::{Deserialize, Serialize};
+
+/// Bits per coded word: 16 data + 5 Hamming + 1 overall parity.
+pub const CODE_BITS: u32 = 22;
+
+/// Storage overhead of the code (6/16).
+pub const OVERHEAD: f64 = (CODE_BITS as f64 - 16.0) / 16.0;
+
+/// Outcome of decoding a possibly corrupted code word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decoded {
+    /// No error detected.
+    Clean(u16),
+    /// One bit error corrected.
+    Corrected(u16),
+    /// Two (or an even number of) bit errors detected, uncorrectable.
+    DoubleError,
+}
+
+impl Decoded {
+    /// The recovered data, if any.
+    pub fn data(&self) -> Option<u16> {
+        match *self {
+            Decoded::Clean(d) | Decoded::Corrected(d) => Some(d),
+            Decoded::DoubleError => None,
+        }
+    }
+}
+
+/// Positions 1..=21 (1-based, Hamming convention); powers of two hold
+/// check bits, the rest data bits. Bit 0 of the code word stores the
+/// overall parity.
+fn data_positions() -> impl Iterator<Item = u32> {
+    (1..=21u32).filter(|p| !p.is_power_of_two())
+}
+
+/// Encodes 16 data bits into a 22-bit SECDED code word.
+///
+/// # Example
+///
+/// ```
+/// use rana_edram::ecc::{decode, encode, Decoded};
+/// let code = encode(0xBEEF);
+/// assert_eq!(decode(code), Decoded::Clean(0xBEEF));
+/// // Any single bit flip is corrected.
+/// assert_eq!(decode(code ^ (1 << 7)), Decoded::Corrected(0xBEEF));
+/// ```
+pub fn encode(data: u16) -> u32 {
+    let mut code: u32 = 0;
+    // Scatter data bits into non-power-of-two positions.
+    for (i, pos) in data_positions().enumerate() {
+        if data & (1 << i) != 0 {
+            code |= 1 << pos;
+        }
+    }
+    // Hamming check bits at power-of-two positions.
+    for c in [1u32, 2, 4, 8, 16] {
+        let parity = (1..=21u32)
+            .filter(|&p| p & c != 0 && !p.is_power_of_two())
+            .filter(|&p| code & (1 << p) != 0)
+            .count()
+            % 2;
+        if parity == 1 {
+            code |= 1 << c;
+        }
+    }
+    // Overall parity (bit 0) over all 21 Hamming bits, for SECDED.
+    let total = (1..=21u32).filter(|&p| code & (1 << p) != 0).count() % 2;
+    if total == 1 {
+        code |= 1;
+    }
+    code
+}
+
+/// Decodes a 22-bit code word, correcting single-bit errors.
+pub fn decode(code: u32) -> Decoded {
+    // Syndrome over the Hamming positions.
+    let mut syndrome = 0u32;
+    for c in [1u32, 2, 4, 8, 16] {
+        let parity = (1..=21u32).filter(|&p| p & c != 0 && code & (1 << p) != 0).count() % 2;
+        if parity == 1 {
+            syndrome |= c;
+        }
+    }
+    let overall = (0..=21u32).filter(|&p| code & (1 << p) != 0).count() % 2;
+
+    let extract = |code: u32| -> u16 {
+        let mut data = 0u16;
+        for (i, pos) in data_positions().enumerate() {
+            if code & (1 << pos) != 0 {
+                data |= 1 << i;
+            }
+        }
+        data
+    };
+
+    match (syndrome, overall) {
+        (0, 0) => Decoded::Clean(extract(code)),
+        (0, 1) => Decoded::Corrected(extract(code)), // overall-parity bit flipped
+        (s, 1) if s <= 21 => Decoded::Corrected(extract(code ^ (1 << s))),
+        // Nonzero syndrome with even overall parity: double error.
+        _ => Decoded::DoubleError,
+    }
+}
+
+/// Probability that a coded word is *not* fully recoverable at raw per-bit
+/// failure rate `p`: two or more of its 22 bits failed.
+pub fn residual_word_failure(p: f64) -> f64 {
+    let n = f64::from(CODE_BITS);
+    let none = (1.0 - p).powf(n);
+    let one = n * p * (1.0 - p).powf(n - 1.0);
+    (1.0 - none - one).max(0.0)
+}
+
+/// The raw per-bit failure rate SECDED can absorb while keeping the
+/// residual error budget equivalent to a raw array at `target_bit_rate`:
+/// a 16-bit word fails there with probability ≈ `16 × target_bit_rate`,
+/// so we solve `residual_word_failure(p) = 16 × target_bit_rate`.
+pub fn tolerable_raw_rate(target_bit_rate: f64) -> f64 {
+    // Solve residual_word_failure(p) = 16 * target by bisection.
+    let target = 16.0 * target_bit_rate;
+    let (mut lo, mut hi) = (0.0f64, 0.5f64);
+    for _ in 0..200 {
+        let mid = (lo + hi) / 2.0;
+        if residual_word_failure(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_clean() {
+        for data in [0u16, 1, 0xFFFF, 0x5A5A, 0x8001, 12345] {
+            assert_eq!(decode(encode(data)), Decoded::Clean(data));
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_bit_flip() {
+        for data in [0x0000u16, 0xFFFF, 0xA53C, 0x0001] {
+            let code = encode(data);
+            for bit in 0..CODE_BITS {
+                let corrupted = code ^ (1 << bit);
+                match decode(corrupted) {
+                    Decoded::Corrected(d) => assert_eq!(d, data, "bit {bit}"),
+                    other => panic!("bit {bit}: expected correction, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detects_every_double_bit_flip() {
+        let data = 0xC3A5u16;
+        let code = encode(data);
+        for b1 in 0..CODE_BITS {
+            for b2 in (b1 + 1)..CODE_BITS {
+                let corrupted = code ^ (1 << b1) ^ (1 << b2);
+                assert_eq!(
+                    decode(corrupted),
+                    Decoded::DoubleError,
+                    "bits {b1},{b2} must be detected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn residual_rate_is_quadratic() {
+        // At small p, residual ≈ C(22,2) p² = 231 p².
+        let p = 1e-4;
+        let r = residual_word_failure(p);
+        assert!((r / (231.0 * p * p) - 1.0).abs() < 0.01, "residual {r}");
+        assert_eq!(residual_word_failure(0.0), 0.0);
+    }
+
+    #[test]
+    fn tolerable_raw_rate_extends_the_budget() {
+        // To keep residual errors at the intrinsic 3e-6 bit budget, ECC
+        // tolerates a raw rate around sqrt(16·3e-6/231) ≈ 4.6e-4 — two
+        // orders above the raw cell budget.
+        let p = tolerable_raw_rate(3e-6);
+        assert!(p > 1e-4 && p < 1e-3, "raw rate {p}");
+        assert!(residual_word_failure(p) <= 16.0 * 3e-6 * 1.01);
+    }
+
+    #[test]
+    fn overhead_constant() {
+        assert!((OVERHEAD - 0.375).abs() < 1e-12);
+    }
+}

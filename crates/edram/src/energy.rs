@@ -1,0 +1,154 @@
+//! 65 nm energy and area constants (paper Tables II and III).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation energy costs in picojoules, per 16-bit word
+/// (paper Table III).
+///
+/// # Example
+///
+/// ```
+/// use rana_edram::EnergyCosts;
+/// let e = EnergyCosts::paper_65nm();
+/// // Off-chip access costs three orders of magnitude more than a MAC.
+/// assert!(e.ddr_access_pj / e.mac_pj > 1000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyCosts {
+    /// 16-bit fixed-point multiply-accumulate.
+    pub mac_pj: f64,
+    /// 16-bit access to a 32 KB SRAM bank.
+    pub sram_access_pj: f64,
+    /// 16-bit access to a 32 KB eDRAM bank.
+    pub edram_access_pj: f64,
+    /// Refreshing one 16-bit eDRAM word once (0.788 µJ per 32 KB bank /
+    /// 16384 words, Table II).
+    pub edram_refresh_pj: f64,
+    /// 16-bit access to off-chip DDR3.
+    pub ddr_access_pj: f64,
+}
+
+impl EnergyCosts {
+    /// The TSMC 65 nm GP numbers of Table III.
+    pub fn paper_65nm() -> Self {
+        Self {
+            mac_pj: 1.3,
+            sram_access_pj: 18.2,
+            edram_access_pj: 10.6,
+            edram_refresh_pj: 48.1,
+            ddr_access_pj: 2112.9,
+        }
+    }
+
+    /// On-chip buffer access energy for the given buffer technology.
+    pub fn buffer_access_pj(&self, tech: BufferTech) -> f64 {
+        match tech {
+            BufferTech::Sram => self.sram_access_pj,
+            BufferTech::Edram => self.edram_access_pj,
+        }
+    }
+}
+
+impl Default for EnergyCosts {
+    fn default() -> Self {
+        Self::paper_65nm()
+    }
+}
+
+/// On-chip buffer technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BufferTech {
+    /// Latch-based static RAM: larger, no refresh.
+    Sram,
+    /// Capacitor-based embedded DRAM: ~3.85× denser, needs refresh.
+    Edram,
+}
+
+/// Characteristics of a 32 KB array in 65 nm (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryCharacteristics {
+    /// Technology.
+    pub tech: BufferTech,
+    /// Area of a 32 KB array in mm².
+    pub area_mm2: f64,
+    /// Random access latency in ns.
+    pub access_latency_ns: f64,
+    /// Access energy in pJ/bit.
+    pub access_energy_pj_per_bit: f64,
+    /// Energy of refreshing a whole 32 KB bank once, in µJ (`None` for
+    /// SRAM).
+    pub refresh_energy_uj_per_bank: Option<f64>,
+    /// Typical worst-cell retention time in µs (`None` for SRAM).
+    pub retention_time_us: Option<f64>,
+}
+
+impl MemoryCharacteristics {
+    /// SRAM column of Table II.
+    pub fn sram_65nm() -> Self {
+        Self {
+            tech: BufferTech::Sram,
+            area_mm2: 0.181,
+            access_latency_ns: 1.730,
+            access_energy_pj_per_bit: 1.139,
+            refresh_energy_uj_per_bank: None,
+            retention_time_us: None,
+        }
+    }
+
+    /// eDRAM column of Table II.
+    pub fn edram_65nm() -> Self {
+        Self {
+            tech: BufferTech::Edram,
+            area_mm2: 0.047,
+            access_latency_ns: 1.541,
+            access_energy_pj_per_bit: 0.662,
+            refresh_energy_uj_per_bank: Some(0.788),
+            retention_time_us: Some(45.0),
+        }
+    }
+
+    /// eDRAM capacity obtainable in the area of `sram_bytes` of SRAM
+    /// (the paper turns 384 KB SRAM into 1.454 MB eDRAM).
+    pub fn edram_capacity_for_sram_area(sram_bytes: u64) -> u64 {
+        let ratio = Self::sram_65nm().area_mm2 / Self::edram_65nm().area_mm2;
+        (sram_bytes as f64 * ratio) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_relative_costs() {
+        // Table III's "Relative Cost" column: 14.3x, 8.3x, 37.7x, 1653.7x.
+        let e = EnergyCosts::paper_65nm();
+        assert!((e.sram_access_pj / e.mac_pj - 14.0).abs() < 0.5);
+        assert!((e.edram_access_pj / e.mac_pj - 8.2).abs() < 0.2);
+        assert!((e.edram_refresh_pj / e.mac_pj - 37.0).abs() < 1.0);
+        assert!((e.ddr_access_pj / e.mac_pj - 1625.3).abs() < 30.0);
+    }
+
+    #[test]
+    fn refresh_per_word_consistent_with_table2() {
+        // Table II: 0.788 µJ per 32 KB bank refresh = 0.788e6 pJ / 16384
+        // 16-bit words = 48.1 pJ/word (Table III).
+        let per_word = 0.788e6 / (32.0 * 1024.0 / 2.0);
+        assert!((per_word - EnergyCosts::paper_65nm().edram_refresh_pj).abs() < 0.1);
+    }
+
+    #[test]
+    fn area_ratio_gives_paper_capacity() {
+        // 384 KB SRAM -> ~1.45-1.48 MB eDRAM in the same area.
+        let cap = MemoryCharacteristics::edram_capacity_for_sram_area(384 * 1024);
+        let mb = cap as f64 / 1e6;
+        assert!((mb - 1.454).abs() < 0.07, "capacity {mb} MB");
+    }
+
+    #[test]
+    fn buffer_access_lookup() {
+        let e = EnergyCosts::paper_65nm();
+        assert_eq!(e.buffer_access_pj(BufferTech::Sram), 18.2);
+        assert_eq!(e.buffer_access_pj(BufferTech::Edram), 10.6);
+    }
+}

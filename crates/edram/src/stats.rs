@@ -1,0 +1,48 @@
+//! Access counters for memory models.
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// Counters accumulated by a memory model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Word reads.
+    pub reads: u64,
+    /// Word writes.
+    pub writes: u64,
+    /// Words refreshed.
+    pub refresh_words: u64,
+    /// Bits corrupted by retention failures (observed on reads/refreshes).
+    pub faults: u32,
+}
+
+impl MemoryStats {
+    /// Total word accesses (reads + writes).
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl AddAssign for MemoryStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+        self.refresh_words += rhs.refresh_words;
+        self.faults += rhs.faults;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate() {
+        let mut a = MemoryStats { reads: 1, writes: 2, refresh_words: 3, faults: 4 };
+        a += MemoryStats { reads: 10, writes: 20, refresh_words: 30, faults: 40 };
+        assert_eq!(a.reads, 11);
+        assert_eq!(a.accesses(), 33);
+        assert_eq!(a.refresh_words, 33);
+        assert_eq!(a.faults, 44);
+    }
+}

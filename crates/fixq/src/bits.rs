@@ -1,0 +1,231 @@
+//! Bit-level retention-error injection.
+//!
+//! The paper models an eDRAM retention failure as a bit that "has a random
+//! value of 0 or 1 with equal probability" (§IV-B). With failure rate `r`,
+//! every stored bit is independently *randomized* with probability `r`,
+//! which flips it with probability `r/2`.
+
+use rand::RngExt;
+
+/// Bit-level retention-error model with a fixed per-bit failure rate.
+///
+/// Two injection strategies are provided:
+///
+/// * [`inject`](BitErrorModel::inject) — samples the number of failed bits
+///   from the binomial distribution and randomizes that many uniformly chosen
+///   bit positions. O(expected errors); the right choice for the small rates
+///   the paper uses (1e-5 … 1e-1).
+/// * [`inject_exact`](BitErrorModel::inject_exact) — per-bit Bernoulli
+///   trials. O(bits); used in tests as the reference behaviour.
+///
+/// # Example
+///
+/// ```
+/// use rana_fixq::BitErrorModel;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut words = vec![0i16; 4096];
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let flipped = BitErrorModel::new(0.05).inject(&mut words, &mut rng);
+/// // each randomized bit flips with probability 1/2
+/// assert!(flipped > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitErrorModel {
+    rate: f64,
+}
+
+impl BitErrorModel {
+    /// Creates a model with per-bit failure rate `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate <= 1.0`.
+    pub fn new(rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "failure rate must be within [0, 1], got {rate}");
+        Self { rate }
+    }
+
+    /// The per-bit failure rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Randomizes bits of `words` at the model's rate by sampling the failed
+    /// bit count and positions. Returns the number of bits that actually
+    /// changed value.
+    pub fn inject<R: RngExt + ?Sized>(&self, words: &mut [i16], rng: &mut R) -> usize {
+        let total_bits = words.len() * 16;
+        if total_bits == 0 || self.rate == 0.0 {
+            return 0;
+        }
+        let failures = sample_binomial(total_bits as u64, self.rate, rng);
+        let mut flipped = 0;
+        for _ in 0..failures {
+            let bit = rng.random_range(0..total_bits);
+            // The failed cell reads a uniform random bit; flip with p = 1/2.
+            if rng.random_bool(0.5) {
+                words[bit / 16] ^= 1 << (bit % 16);
+                flipped += 1;
+            }
+        }
+        flipped
+    }
+
+    /// Reference implementation: independent Bernoulli trial per bit.
+    /// Returns the number of bits that actually changed value.
+    pub fn inject_exact<R: RngExt + ?Sized>(&self, words: &mut [i16], rng: &mut R) -> usize {
+        if self.rate == 0.0 {
+            return 0;
+        }
+        let mut flipped = 0;
+        for word in words.iter_mut() {
+            for bit in 0..16 {
+                if rng.random_bool(self.rate) && rng.random_bool(0.5) {
+                    *word ^= 1 << bit;
+                    flipped += 1;
+                }
+            }
+        }
+        flipped
+    }
+}
+
+/// Samples from `Binomial(n, p)`.
+///
+/// Uses exact Bernoulli summation for tiny `n·p`, a Poisson approximation for
+/// rare events and a normal approximation for large means — adequate for
+/// statistical fault injection, where only the distribution's bulk matters.
+fn sample_binomial<R: RngExt + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    if p <= 0.0 || n == 0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let mean = n as f64 * p;
+    if mean < 16.0 {
+        return sample_poisson(mean, rng).min(n);
+    }
+    // Normal approximation with continuity correction.
+    let sd = (mean * (1.0 - p)).sqrt();
+    let z = sample_standard_normal(rng);
+    let x = (mean + sd * z + 0.5).floor();
+    x.clamp(0.0, n as f64) as u64
+}
+
+/// Knuth's multiplicative Poisson sampler (fine for small `lambda`).
+fn sample_poisson<R: RngExt + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 1_000_000 {
+            // Numerical safety net; unreachable for lambda < 16.
+            return k;
+        }
+    }
+}
+
+/// Box-Muller standard normal sample.
+fn sample_standard_normal<R: RngExt + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let original = vec![0x55AAu16 as i16; 256];
+        let mut words = original.clone();
+        assert_eq!(BitErrorModel::new(0.0).inject(&mut words, &mut rng), 0);
+        assert_eq!(words, original);
+        assert_eq!(BitErrorModel::new(0.0).inject_exact(&mut words, &mut rng), 0);
+        assert_eq!(words, original);
+    }
+
+    #[test]
+    fn full_rate_randomizes_about_half_the_bits() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut words = vec![0i16; 4096];
+        let flipped = BitErrorModel::new(1.0).inject(&mut words, &mut rng);
+        let total = 4096 * 16;
+        // Every bit randomized => ~half flip.
+        assert!((flipped as f64 - total as f64 / 2.0).abs() < total as f64 * 0.05);
+    }
+
+    #[test]
+    fn sampled_rate_statistically_matches() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let rate = 0.01;
+        let mut words = vec![0i16; 1 << 16];
+        let flipped = BitErrorModel::new(rate).inject(&mut words, &mut rng);
+        let expected = (1 << 16) as f64 * 16.0 * rate / 2.0;
+        assert!(
+            (flipped as f64 - expected).abs() < expected * 0.2,
+            "flipped {flipped}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn exact_and_sampled_agree_statistically() {
+        let rate = 0.02;
+        let n = 1 << 14;
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut a = vec![0i16; n];
+        let mut b = vec![0i16; n];
+        let fa = BitErrorModel::new(rate).inject(&mut a, &mut rng);
+        let fb = BitErrorModel::new(rate).inject_exact(&mut b, &mut rng);
+        let fa = fa as f64;
+        let fb = fb as f64;
+        assert!((fa - fb).abs() < (fa.max(fb)) * 0.25, "sampled {fa} vs exact {fb}");
+    }
+
+    #[test]
+    #[should_panic(expected = "failure rate")]
+    fn invalid_rate_panics() {
+        BitErrorModel::new(1.5);
+    }
+
+    #[test]
+    fn poisson_sampler_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lambda = 4.0;
+        let trials = 5000;
+        let sum: u64 = (0..trials).map(|_| sample_poisson(lambda, &mut rng)).sum();
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - lambda).abs() < 0.2, "poisson mean {mean}");
+    }
+
+    #[test]
+    fn binomial_sampler_mean_large_n() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (n, p) = (100_000u64, 0.1);
+        let trials = 300;
+        let sum: u64 = (0..trials).map(|_| sample_binomial(n, p, &mut rng)).sum();
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 10_000.0).abs() < 200.0, "binomial mean {mean}");
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "normal mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "normal var {var}");
+    }
+}

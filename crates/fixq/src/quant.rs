@@ -1,0 +1,148 @@
+//! Per-tensor quantization between `f32` slices and raw 16-bit words.
+//!
+//! The retention-aware training method (paper §IV-B) quantizes each layer's
+//! inputs and weights to 16-bit fixed point, injects bit errors into the raw
+//! words, and dequantizes back for the (floating-point) backward pass. These
+//! helpers implement that round trip.
+
+use crate::fixed::QFormat;
+
+/// A tensor quantized to raw 16-bit words plus the [`QFormat`] they are
+/// interpreted under.
+///
+/// # Example
+///
+/// ```
+/// use rana_fixq::QuantizedTensor;
+/// let qt = QuantizedTensor::from_f32(&[0.5, -1.25, 3.0]);
+/// let back = qt.to_f32();
+/// assert!((back[2] - 3.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTensor {
+    words: Vec<i16>,
+    format: QFormat,
+}
+
+impl QuantizedTensor {
+    /// Quantizes `data`, choosing the tightest [`QFormat`] that covers its
+    /// dynamic range.
+    pub fn from_f32(data: &[f32]) -> Self {
+        let max_abs = data.iter().fold(0.0f64, |m, &x| m.max(f64::from(x).abs()));
+        let format = QFormat::for_max_abs(max_abs);
+        Self::from_f32_with_format(data, format)
+    }
+
+    /// Quantizes `data` under an explicit format (values outside the range
+    /// saturate).
+    pub fn from_f32_with_format(data: &[f32], format: QFormat) -> Self {
+        let words = data.iter().map(|&x| format.quantize(f64::from(x))).collect();
+        Self { words, format }
+    }
+
+    /// The raw words.
+    pub fn words(&self) -> &[i16] {
+        &self.words
+    }
+
+    /// Mutable access to the raw words (for fault injection).
+    pub fn words_mut(&mut self) -> &mut [i16] {
+        &mut self.words
+    }
+
+    /// The interpretation format.
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Number of 16-bit words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Dequantizes back to `f32`.
+    pub fn to_f32(&self) -> Vec<f32> {
+        self.words.iter().map(|&w| self.format.dequantize(w) as f32).collect()
+    }
+
+    /// Dequantizes into an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn write_f32(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.words.len(), "output buffer length mismatch");
+        for (o, &w) in out.iter_mut().zip(&self.words) {
+            *o = self.format.dequantize(w) as f32;
+        }
+    }
+
+    /// Maximum absolute quantization error for this tensor against `data`.
+    pub fn max_error(&self, data: &[f32]) -> f64 {
+        data.iter()
+            .zip(&self.words)
+            .map(|(&x, &w)| (f64::from(x) - self.format.dequantize(w)).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Quantizes a slice to raw words under `format`.
+pub fn quantize_slice(data: &[f32], format: QFormat) -> Vec<i16> {
+    data.iter().map(|&x| format.quantize(f64::from(x))).collect()
+}
+
+/// Dequantizes raw words under `format`.
+pub fn dequantize_slice(words: &[i16], format: QFormat) -> Vec<f32> {
+    words.iter().map(|&w| format.dequantize(w) as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let data = [0.1f32, -0.7, 0.33, 0.99, -0.01];
+        let qt = QuantizedTensor::from_f32(&data);
+        let step = qt.format().resolution();
+        assert!(qt.max_error(&data) <= step / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn format_covers_dynamic_range() {
+        let data = [120.0f32, -3.0, 0.5];
+        let qt = QuantizedTensor::from_f32(&data);
+        assert!(qt.format().max_value() >= 120.0);
+        let back = qt.to_f32();
+        assert!((back[0] - 120.0).abs() < qt.format().resolution() as f32);
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let qt = QuantizedTensor::from_f32(&[]);
+        assert!(qt.is_empty());
+        assert_eq!(qt.to_f32(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn write_f32_matches_to_f32() {
+        let data = [1.0f32, 2.5, -0.25];
+        let qt = QuantizedTensor::from_f32(&data);
+        let mut out = [0.0f32; 3];
+        qt.write_f32(&mut out);
+        assert_eq!(out.to_vec(), qt.to_f32());
+    }
+
+    #[test]
+    fn slice_helpers_roundtrip() {
+        let q = QFormat::new(8);
+        let data = [0.5f32, -1.5];
+        let words = quantize_slice(&data, q);
+        assert_eq!(dequantize_slice(&words, q), data.to_vec());
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for fixed-point quantization and error injection.
+
+use proptest::prelude::*;
+use rana_fixq::{BitErrorModel, Fixed, QFormat, QuantizedTensor};
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    /// Quantization error is bounded by half a resolution step whenever the
+    /// value lies inside the representable range.
+    #[test]
+    fn quantize_error_bounded(x in -100.0f64..100.0, frac in 0u8..=15) {
+        let q = QFormat::new(frac);
+        if x.abs() <= q.max_value() {
+            let err = (q.dequantize(q.quantize(x)) - x).abs();
+            prop_assert!(err <= q.resolution() / 2.0 + 1e-12);
+        }
+    }
+
+    /// Quantization saturates monotonically: ordering of inputs is preserved.
+    #[test]
+    fn quantize_monotone(a in -1e6f64..1e6, b in -1e6f64..1e6, frac in 0u8..=15) {
+        let q = QFormat::new(frac);
+        if a <= b {
+            prop_assert!(q.quantize(a) <= q.quantize(b));
+        }
+    }
+
+    /// `for_max_abs` always produces a format that covers the value.
+    #[test]
+    fn format_for_max_abs_covers(x in 0.0f64..30000.0) {
+        let q = QFormat::for_max_abs(x);
+        prop_assert!(q.max_value() >= x.min(QFormat::new(0).max_value()));
+    }
+
+    /// Fixed-point addition saturates: result is always within i16 range and
+    /// matches real addition when no saturation occurs.
+    #[test]
+    fn add_matches_real(a in -50.0f64..50.0, b in -50.0f64..50.0) {
+        let q = QFormat::new(8);
+        let fa = Fixed::from_f64(a, q);
+        let fb = Fixed::from_f64(b, q);
+        let sum = fa.saturating_add(fb).to_f64();
+        if (a + b).abs() < q.max_value() - 1.0 {
+            prop_assert!((sum - (a + b)).abs() <= q.resolution() + 1e-9);
+        }
+    }
+
+    /// Tensor round trip: every element's error is bounded by half a step of
+    /// the chosen format.
+    #[test]
+    fn tensor_roundtrip(data in proptest::collection::vec(-1000.0f32..1000.0, 0..64)) {
+        let qt = QuantizedTensor::from_f32(&data);
+        prop_assert!(qt.max_error(&data) <= qt.format().resolution() / 2.0 + 1e-9);
+    }
+
+    /// Injection at rate 0 never mutates; injection only ever flips bits (the
+    /// word count never changes).
+    #[test]
+    fn injection_preserves_length(words in proptest::collection::vec(any::<i16>(), 0..256), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = words.clone();
+        BitErrorModel::new(0.0).inject(&mut w, &mut rng);
+        prop_assert_eq!(&w, &words);
+        BitErrorModel::new(0.1).inject(&mut w, &mut rng);
+        prop_assert_eq!(w.len(), words.len());
+    }
+
+    /// Flipped-bit count reported by inject_exact equals the Hamming distance
+    /// between the original and mutated words.
+    #[test]
+    fn exact_injection_reports_hamming_distance(
+        words in proptest::collection::vec(any::<i16>(), 1..64),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = words.clone();
+        let reported = BitErrorModel::new(0.05).inject_exact(&mut w, &mut rng);
+        let hamming: u32 = words
+            .iter()
+            .zip(&w)
+            .map(|(&a, &b)| ((a ^ b) as u16).count_ones())
+            .sum();
+        prop_assert_eq!(reported as u32, hamming);
+    }
+}

@@ -1,0 +1,56 @@
+//! ReLU activation.
+
+use super::Layer;
+use crate::fault::FaultContext;
+use crate::tensor::Tensor;
+
+/// Rectified linear unit, `max(0, x)`.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, _ctx: &mut FaultContext) -> Tensor {
+        self.mask = x.data().iter().map(|&v| v > 0.0).collect();
+        let data = x.data().iter().map(|&v| v.max(0.0)).collect();
+        Tensor::from_vec(data, x.shape())
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert_eq!(grad.len(), self.mask.len(), "backward before forward");
+        let data = grad
+            .data()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad.shape())
+    }
+
+    fn name(&self) -> &str {
+        "relu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_negatives_and_gates_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        let y = r.forward(&x, &mut FaultContext::clean());
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+        let g = r.backward(&Tensor::from_vec(vec![5.0, 5.0, 5.0], &[3]));
+        assert_eq!(g.data(), &[0.0, 0.0, 5.0]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Batch normalization (per-channel, NCHW).
+
+use super::{Layer, ParamState};
+use crate::fault::FaultContext;
+use crate::tensor::Tensor;
+
+/// Batch normalization over the channel dimension of `[B, C, H, W]`.
+///
+/// Training mode uses batch statistics and maintains running estimates;
+/// inference (after [`freeze`](BatchNorm2d::freeze)) uses the running
+/// estimates, making the layer a per-channel affine transform.
+pub struct BatchNorm2d {
+    channels: usize,
+    gamma: ParamState,
+    beta: ParamState,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    frozen: bool,
+    // forward cache
+    xhat: Vec<f32>,
+    inv_std: Vec<f32>,
+    in_shape: Vec<usize>,
+    name: String,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "channels must be positive");
+        Self {
+            channels,
+            gamma: ParamState::new(vec![1.0; channels]),
+            beta: ParamState::new(vec![0.0; channels]),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            frozen: false,
+            xhat: Vec::new(),
+            inv_std: Vec::new(),
+            in_shape: Vec::new(),
+            name: format!("batchnorm({channels})"),
+        }
+    }
+
+    /// Switches to inference mode: running statistics, no cache.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// The running per-channel means.
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// The running per-channel variances.
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, _ctx: &mut FaultContext) -> Tensor {
+        let [b, c, h, w] = x.shape() else { panic!("batchnorm expects [B,C,H,W], got {:?}", x.shape()) };
+        let (b, c, h, w) = (*b, *c, *h, *w);
+        assert_eq!(c, self.channels, "channel mismatch in {}", self.name);
+        self.in_shape = x.shape().to_vec();
+        let hw = h * w;
+        let count = (b * hw) as f32;
+        let xs = x.data();
+        let mut y = Tensor::zeros(&[b, c, h, w]);
+        self.xhat = vec![0.0; xs.len()];
+        self.inv_std = vec![0.0; c];
+        for ch in 0..c {
+            let (mean, var) = if self.frozen {
+                (self.running_mean[ch], self.running_var[ch])
+            } else {
+                let mut mean = 0.0f32;
+                for bi in 0..b {
+                    for i in 0..hw {
+                        mean += xs[(bi * c + ch) * hw + i];
+                    }
+                }
+                mean /= count;
+                let mut var = 0.0f32;
+                for bi in 0..b {
+                    for i in 0..hw {
+                        let d = xs[(bi * c + ch) * hw + i] - mean;
+                        var += d * d;
+                    }
+                }
+                var /= count;
+                self.running_mean[ch] = (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] = (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                (mean, var)
+            };
+            let inv = 1.0 / (var + self.eps).sqrt();
+            self.inv_std[ch] = inv;
+            let ys = y.data_mut();
+            for bi in 0..b {
+                for i in 0..hw {
+                    let idx = (bi * c + ch) * hw + i;
+                    let xh = (xs[idx] - mean) * inv;
+                    self.xhat[idx] = xh;
+                    ys[idx] = self.gamma.value[ch] * xh + self.beta.value[ch];
+                }
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert_eq!(grad.shape(), self.in_shape.as_slice(), "backward before forward");
+        let (b, c, h, w) = (self.in_shape[0], self.in_shape[1], self.in_shape[2], self.in_shape[3]);
+        let hw = h * w;
+        let count = (b * hw) as f32;
+        let gs = grad.data();
+        let mut gx = Tensor::zeros(&self.in_shape);
+        for ch in 0..c {
+            let mut sum_g = 0.0f32;
+            let mut sum_gx = 0.0f32;
+            for bi in 0..b {
+                for i in 0..hw {
+                    let idx = (bi * c + ch) * hw + i;
+                    sum_g += gs[idx];
+                    sum_gx += gs[idx] * self.xhat[idx];
+                }
+            }
+            self.beta.grad[ch] += sum_g;
+            self.gamma.grad[ch] += sum_gx;
+            let scale = self.gamma.value[ch] * self.inv_std[ch];
+            let gxs = gx.data_mut();
+            for bi in 0..b {
+                for i in 0..hw {
+                    let idx = (bi * c + ch) * hw + i;
+                    // d/dx of batch-normalized output (training mode).
+                    gxs[idx] = scale * (gs[idx] - sum_g / count - self.xhat[idx] * sum_gx / count);
+                }
+            }
+        }
+        gx
+    }
+
+    fn update(&mut self, lr: f32) {
+        self.gamma.sgd_step(lr);
+        self.beta.sgd_step(lr);
+    }
+
+    fn param_count(&self) -> usize {
+        2 * self.channels
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for BatchNorm2d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BatchNorm2d({})", self.channels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_batch_statistics() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::from_vec((0..32).map(|v| v as f32).collect(), &[2, 2, 2, 4]);
+        let y = bn.forward(&x, &mut FaultContext::clean());
+        // Per channel: mean ~0, variance ~1.
+        for ch in 0..2 {
+            let vals: Vec<f32> = (0..2)
+                .flat_map(|bi| (0..8).map(move |i| (bi, i)))
+                .map(|(bi, i)| y.at(&[bi, ch, i / 4, i % 4]))
+                .collect();
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_channel() {
+        // Normalization makes the input gradient orthogonal to constants.
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(vec![1.0, 3.0, -2.0, 0.5, 2.0, -1.0, 4.0, 0.0], &[2, 1, 2, 2]);
+        let _ = bn.forward(&x, &mut FaultContext::clean());
+        let g = Tensor::from_vec(vec![0.3, -0.7, 0.2, 0.9, -0.4, 0.1, 0.6, -0.2], &[2, 1, 2, 2]);
+        let gx = bn.backward(&g);
+        let sum: f32 = gx.data().iter().sum();
+        assert!(sum.abs() < 1e-4, "gx sum {sum}");
+    }
+
+    #[test]
+    fn frozen_mode_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        // A few training passes to populate running stats.
+        let x = Tensor::from_vec(vec![10.0, 12.0, 8.0, 10.0], &[1, 1, 2, 2]);
+        for _ in 0..30 {
+            let _ = bn.forward(&x, &mut FaultContext::clean());
+        }
+        bn.freeze();
+        let y = bn.forward(&x, &mut FaultContext::clean());
+        // Running mean ~10: the centred output is near (x-10)/sigma.
+        assert!(y.at(&[0, 0, 0, 0]) > -0.5 && y.at(&[0, 0, 0, 0]) < 0.5);
+        assert!(y.at(&[0, 0, 0, 1]) > 0.5, "12 should normalize positive");
+    }
+
+    #[test]
+    fn numerical_gradient_check_gamma() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(vec![1.0, -1.0, 2.0, 0.0], &[1, 1, 2, 2]);
+        let _ = bn.forward(&x, &mut FaultContext::clean());
+        let g = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0], &[1, 1, 2, 2]);
+        bn.backward(&g);
+        let analytic = bn.gamma.grad[0];
+        // Loss = y[0]; dL/dgamma = xhat[0].
+        assert!((analytic - bn.xhat[0]).abs() < 1e-5);
+    }
+}

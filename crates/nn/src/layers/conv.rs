@@ -1,0 +1,305 @@
+//! 2-D convolution with square kernels.
+
+use super::{Layer, ParamState};
+use crate::fault::FaultContext;
+use crate::tensor::Tensor;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// A convolutional layer: weights `[out_ch, in_ch, k, k]` plus bias.
+#[derive(Debug)]
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    weight: ParamState,
+    bias: ParamState,
+    cached_x: Option<Tensor>,
+    cached_w: Option<Vec<f32>>,
+    cached_cols: Vec<Vec<f32>>,
+    name: String,
+}
+
+impl Conv2d {
+    /// Creates a conv layer with He-initialized weights (deterministic from
+    /// `seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(in_ch: usize, out_ch: usize, k: usize, stride: usize, pad: usize, seed: u64) -> Self {
+        assert!(in_ch > 0 && out_ch > 0 && k > 0 && stride > 0, "conv dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0D1F1ED);
+        let fan_in = (in_ch * k * k) as f32;
+        let scale = (2.0 / fan_in).sqrt();
+        let weight: Vec<f32> = (0..out_ch * in_ch * k * k)
+            .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale)
+            .collect();
+        Self {
+            in_ch,
+            out_ch,
+            k,
+            stride,
+            pad,
+            weight: ParamState::new(weight),
+            bias: ParamState::new(vec![0.0; out_ch]),
+            cached_x: None,
+            cached_w: None,
+            cached_cols: Vec::new(),
+            name: format!("conv{k}x{k}({in_ch}->{out_ch})"),
+        }
+    }
+
+    /// Output spatial size for an input of `h`.
+    pub fn out_dim(&self, h: usize) -> usize {
+        (h + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// The weights, `[out_ch × in_ch × k × k]` row-major (for exporting a
+    /// trained model to the functional accelerator engine).
+    pub fn weights(&self) -> &[f32] {
+        &self.weight.value
+    }
+
+    /// The per-output-channel biases.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias.value
+    }
+
+    /// `(in_ch, out_ch, k, stride, pad)`.
+    pub fn dims(&self) -> (usize, usize, usize, usize, usize) {
+        (self.in_ch, self.out_ch, self.k, self.stride, self.pad)
+    }
+
+    /// Unfolds one sample's `[n, h, w]` input into the `[n·k·k, oh·ow]`
+    /// column matrix (im2col), so the convolution becomes a dense
+    /// matrix product — the usual CPU-training layout.
+    #[allow(clippy::too_many_arguments)]
+    fn im2col(xs: &[f32], n: usize, h: usize, w: usize, k: usize, s: usize, p: usize, oh: usize, ow: usize) -> Vec<f32> {
+        let mut col = vec![0.0f32; n * k * k * oh * ow];
+        let ohw = oh * ow;
+        for c in 0..n {
+            for u in 0..k {
+                for v in 0..k {
+                    let row = ((c * k + u) * k + v) * ohw;
+                    for i in 0..oh {
+                        let hy = (i * s + u) as isize - p as isize;
+                        if hy < 0 || hy >= h as isize {
+                            continue;
+                        }
+                        let src_row = (c * h + hy as usize) * w;
+                        for j in 0..ow {
+                            let wx = (j * s + v) as isize - p as isize;
+                            if wx < 0 || wx >= w as isize {
+                                continue;
+                            }
+                            col[row + i * ow + j] = xs[src_row + wx as usize];
+                        }
+                    }
+                }
+            }
+        }
+        col
+    }
+
+    /// Scatters a column-matrix gradient back onto the input (col2im).
+    #[allow(clippy::too_many_arguments)]
+    fn col2im(gcol: &[f32], gxs: &mut [f32], n: usize, h: usize, w: usize, k: usize, s: usize, p: usize, oh: usize, ow: usize) {
+        let ohw = oh * ow;
+        for c in 0..n {
+            for u in 0..k {
+                for v in 0..k {
+                    let row = ((c * k + u) * k + v) * ohw;
+                    for i in 0..oh {
+                        let hy = (i * s + u) as isize - p as isize;
+                        if hy < 0 || hy >= h as isize {
+                            continue;
+                        }
+                        let dst_row = (c * h + hy as usize) * w;
+                        for j in 0..ow {
+                            let wx = (j * s + v) as isize - p as isize;
+                            if wx < 0 || wx >= w as isize {
+                                continue;
+                            }
+                            gxs[dst_row + wx as usize] += gcol[row + i * ow + j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, ctx: &mut FaultContext) -> Tensor {
+        let [b, n, h, wdt] = x.shape() else { panic!("conv expects [B,C,H,W], got {:?}", x.shape()) };
+        let (b, n, h, wdt) = (*b, *n, *h, *wdt);
+        assert_eq!(n, self.in_ch, "channel mismatch in {}", self.name);
+        // Quantize + fault-inject both activations and weights (Figure 9).
+        let x = ctx.corrupt(x);
+        let w = ctx
+            .corrupt(&Tensor::from_vec(self.weight.value.clone(), &[self.out_ch, self.in_ch, self.k, self.k]))
+            .data()
+            .to_vec();
+
+        let oh = self.out_dim(h);
+        let ow = self.out_dim(wdt);
+        let mut y = Tensor::zeros(&[b, self.out_ch, oh, ow]);
+        let xs = x.data();
+        let ys = y.data_mut();
+        let (k, s, p) = (self.k, self.stride, self.pad);
+        let ohw = oh * ow;
+        let kk = n * k * k;
+        let mut cols = Vec::with_capacity(b);
+        for bi in 0..b {
+            // im2col + matrix product: y[m] = W[m] · col + bias.
+            let col = Self::im2col(&xs[bi * n * h * wdt..(bi + 1) * n * h * wdt], n, h, wdt, k, s, p, oh, ow);
+            for m in 0..self.out_ch {
+                let out_row = &mut ys[(bi * self.out_ch + m) * ohw..(bi * self.out_ch + m + 1) * ohw];
+                out_row.fill(self.bias.value[m]);
+                let w_row = &w[m * kk..(m + 1) * kk];
+                for (q, &wq) in w_row.iter().enumerate() {
+                    if wq == 0.0 {
+                        continue;
+                    }
+                    let col_row = &col[q * ohw..(q + 1) * ohw];
+                    for (o, &cv) in out_row.iter_mut().zip(col_row) {
+                        *o += wq * cv;
+                    }
+                }
+            }
+            cols.push(col);
+        }
+        self.cached_cols = cols;
+        self.cached_x = Some(x);
+        self.cached_w = Some(w);
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cached_x.as_ref().expect("backward before forward");
+        let w = self.cached_w.as_ref().expect("backward before forward");
+        let [b, n, h, wdt] = x.shape() else { unreachable!() };
+        let (b, n, h, wdt) = (*b, *n, *h, *wdt);
+        let [_, m_ch, oh, ow] = grad.shape() else { panic!("bad grad shape {:?}", grad.shape()) };
+        let (m_ch, oh, ow) = (*m_ch, *oh, *ow);
+        assert_eq!(m_ch, self.out_ch);
+
+        let mut gx = Tensor::zeros(&[b, n, h, wdt]);
+        let gs = grad.data();
+        let (k, s, p) = (self.k, self.stride, self.pad);
+        let ohw = oh * ow;
+        let kk = n * k * k;
+        let mut gcol = vec![0.0f32; kk * ohw];
+        for bi in 0..b {
+            let col = &self.cached_cols[bi];
+            gcol.fill(0.0);
+            for m in 0..self.out_ch {
+                let g_row = &gs[(bi * self.out_ch + m) * ohw..(bi * self.out_ch + m + 1) * ohw];
+                self.bias.grad[m] += g_row.iter().sum::<f32>();
+                let w_row = &w[m * kk..(m + 1) * kk];
+                for q in 0..kk {
+                    let col_row = &col[q * ohw..(q + 1) * ohw];
+                    // gw[m][q] += gy[m] . col[q]; gcol[q] += w[m][q] * gy[m].
+                    let mut dot = 0.0f32;
+                    let wq = w_row[q];
+                    let gcol_row = &mut gcol[q * ohw..(q + 1) * ohw];
+                    for ((gc, &g), &cv) in gcol_row.iter_mut().zip(g_row).zip(col_row) {
+                        dot += g * cv;
+                        *gc += wq * g;
+                    }
+                    self.weight.grad[m * kk + q] += dot;
+                }
+            }
+            let gxs = &mut gx.data_mut()[bi * n * h * wdt..(bi + 1) * n * h * wdt];
+            Self::col2im(&gcol, gxs, n, h, wdt, k, s, p, oh, ow);
+        }
+        gx
+    }
+
+    fn update(&mut self, lr: f32) {
+        self.weight.sgd_step(lr);
+        self.bias.sgd_step(lr);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.value.len() + self.bias.value.len()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ident_conv() -> Conv2d {
+        // 1->1 3x3 kernel with centre 1: identity map under pad 1.
+        let mut c = Conv2d::new(1, 1, 3, 1, 1, 0);
+        c.weight.value.iter_mut().for_each(|w| *w = 0.0);
+        c.weight.value[4] = 1.0;
+        c
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let mut c = ident_conv();
+        let x = Tensor::from_vec((0..16).map(|v| v as f32 / 8.0).collect(), &[1, 1, 4, 4]);
+        let y = c.forward(&x, &mut FaultContext::clean());
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn stride_and_pad_shapes() {
+        let mut c = Conv2d::new(3, 8, 3, 2, 1, 1);
+        let y = c.forward(&Tensor::zeros(&[2, 3, 9, 9]), &mut FaultContext::clean());
+        assert_eq!(y.shape(), &[2, 8, 5, 5]);
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        // Numerical vs analytic gradient on a tiny conv (no quantization:
+        // use values exactly representable and epsilon large enough).
+        let mut c = Conv2d::new(1, 1, 3, 1, 0, 3);
+        let x = Tensor::from_vec(vec![0.5, -0.25, 0.125, 0.75, 0.5, -0.5, 0.25, 0.0, 1.0], &[1, 1, 3, 3]);
+        let mut ctx = FaultContext::clean();
+        // Loss = output scalar itself (3x3 input, 3x3 kernel -> 1x1 output).
+        let _ = c.forward(&x, &mut ctx);
+        let g1 = Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]);
+        c.backward(&g1);
+        let analytic = c.weight.grad.clone();
+        // dy/dw[u,v] = x[u,v].
+        for (g, xv) in analytic.iter().zip(x.data()) {
+            assert!((g - xv).abs() < 1e-2, "analytic {g} vs expected {xv}");
+        }
+    }
+
+    #[test]
+    fn gradient_check_inputs() {
+        let mut c = ident_conv();
+        let x = Tensor::from_vec(vec![0.5; 16], &[1, 1, 4, 4]);
+        let _ = c.forward(&x, &mut FaultContext::clean());
+        let gy = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let gx = c.backward(&gy);
+        // Identity kernel: gx == gy.
+        for (a, b) in gx.data().iter().zip(gy.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn update_changes_weights() {
+        let mut c = Conv2d::new(1, 1, 3, 1, 1, 5);
+        let before = c.weight.value.clone();
+        let x = Tensor::from_vec(vec![1.0; 16], &[1, 1, 4, 4]);
+        let y = c.forward(&x, &mut FaultContext::clean());
+        c.backward(&Tensor::from_vec(vec![1.0; y.len()], y.shape()));
+        c.update(0.01);
+        assert_ne!(before, c.weight.value);
+    }
+}

@@ -1,0 +1,207 @@
+//! Depthwise convolution (one kernel per channel, MobileNet-style).
+
+use super::{Layer, ParamState};
+use crate::fault::FaultContext;
+use crate::tensor::Tensor;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// Depthwise 2-D convolution: weights `[channels, k, k]`, each channel
+/// convolved independently (a grouped convolution with `groups = C`).
+#[derive(Debug)]
+pub struct DepthwiseConv2d {
+    channels: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    weight: ParamState,
+    bias: ParamState,
+    cached_x: Option<Tensor>,
+    cached_w: Option<Vec<f32>>,
+    name: String,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a depthwise conv with He-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(channels: usize, k: usize, stride: usize, pad: usize, seed: u64) -> Self {
+        assert!(channels > 0 && k > 0 && stride > 0, "depthwise dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD39);
+        let scale = (2.0 / (k * k) as f32).sqrt();
+        let weight: Vec<f32> = (0..channels * k * k)
+            .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale)
+            .collect();
+        Self {
+            channels,
+            k,
+            stride,
+            pad,
+            weight: ParamState::new(weight),
+            bias: ParamState::new(vec![0.0; channels]),
+            cached_x: None,
+            cached_w: None,
+            name: format!("dwconv{k}x{k}({channels})"),
+        }
+    }
+
+    /// Output spatial size for an input of `h`.
+    pub fn out_dim(&self, h: usize) -> usize {
+        (h + 2 * self.pad - self.k) / self.stride + 1
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn forward(&mut self, x: &Tensor, ctx: &mut FaultContext) -> Tensor {
+        let [b, c, h, w] = x.shape() else { panic!("dwconv expects [B,C,H,W], got {:?}", x.shape()) };
+        let (b, c, h, w) = (*b, *c, *h, *w);
+        assert_eq!(c, self.channels, "channel mismatch in {}", self.name);
+        let x = ctx.corrupt(x);
+        let wts = ctx
+            .corrupt(&Tensor::from_vec(self.weight.value.clone(), &[self.channels, self.k, self.k]))
+            .data()
+            .to_vec();
+        let (oh, ow) = (self.out_dim(h), self.out_dim(w));
+        let mut y = Tensor::zeros(&[b, c, oh, ow]);
+        let xs = x.data();
+        let ys = y.data_mut();
+        let (k, s, p) = (self.k, self.stride, self.pad);
+        for bi in 0..b {
+            for ch in 0..c {
+                for i in 0..oh {
+                    for j in 0..ow {
+                        let mut acc = self.bias.value[ch];
+                        for u in 0..k {
+                            let hy = (i * s + u) as isize - p as isize;
+                            if hy < 0 || hy >= h as isize {
+                                continue;
+                            }
+                            for v in 0..k {
+                                let wx = (j * s + v) as isize - p as isize;
+                                if wx < 0 || wx >= w as isize {
+                                    continue;
+                                }
+                                acc += xs[((bi * c + ch) * h + hy as usize) * w + wx as usize]
+                                    * wts[(ch * k + u) * k + v];
+                            }
+                        }
+                        ys[((bi * c + ch) * oh + i) * ow + j] = acc;
+                    }
+                }
+            }
+        }
+        self.cached_x = Some(x);
+        self.cached_w = Some(wts);
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cached_x.as_ref().expect("backward before forward");
+        let wts = self.cached_w.as_ref().expect("backward before forward");
+        let [b, c, h, w] = x.shape() else { unreachable!() };
+        let (b, c, h, w) = (*b, *c, *h, *w);
+        let [_, _, oh, ow] = grad.shape() else { panic!("bad grad shape") };
+        let (oh, ow) = (*oh, *ow);
+        let mut gx = Tensor::zeros(&[b, c, h, w]);
+        let xs = x.data();
+        let gs = grad.data();
+        let gxs = gx.data_mut();
+        let (k, s, p) = (self.k, self.stride, self.pad);
+        for bi in 0..b {
+            for ch in 0..c {
+                for i in 0..oh {
+                    for j in 0..ow {
+                        let g = gs[((bi * c + ch) * oh + i) * ow + j];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.bias.grad[ch] += g;
+                        for u in 0..k {
+                            let hy = (i * s + u) as isize - p as isize;
+                            if hy < 0 || hy >= h as isize {
+                                continue;
+                            }
+                            for v in 0..k {
+                                let wx = (j * s + v) as isize - p as isize;
+                                if wx < 0 || wx >= w as isize {
+                                    continue;
+                                }
+                                let xi = ((bi * c + ch) * h + hy as usize) * w + wx as usize;
+                                self.weight.grad[(ch * k + u) * k + v] += g * xs[xi];
+                                gxs[xi] += g * wts[(ch * k + u) * k + v];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn update(&mut self, lr: f32) {
+        self.weight.sgd_step(lr);
+        self.bias.sgd_step(lr);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.value.len() + self.bias.value.len()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_per_channel() {
+        let mut d = DepthwiseConv2d::new(2, 3, 1, 1, 0);
+        d.weight.value.iter_mut().for_each(|w| *w = 0.0);
+        d.weight.value[4] = 1.0; // centre of channel 0
+        d.weight.value[13] = 2.0; // centre of channel 1
+        let x = Tensor::from_vec((0..32).map(|v| v as f32 / 16.0).collect(), &[1, 2, 4, 4]);
+        let y = d.forward(&x, &mut FaultContext::clean());
+        assert!((y.at(&[0, 0, 1, 1]) - x.at(&[0, 0, 1, 1])).abs() < 1e-3);
+        assert!((y.at(&[0, 1, 2, 2]) - 2.0 * x.at(&[0, 1, 2, 2])).abs() < 1e-2);
+    }
+
+    #[test]
+    fn channels_do_not_mix() {
+        let mut d = DepthwiseConv2d::new(2, 3, 1, 1, 1);
+        // Zero channel-1 weights: its output must be zero regardless of
+        // channel 0's content.
+        for wv in d.weight.value[9..].iter_mut() {
+            *wv = 0.0;
+        }
+        let mut x = Tensor::zeros(&[1, 2, 4, 4]);
+        for i in 0..16 {
+            x.data_mut()[i] = 1.0; // only channel 0 nonzero
+        }
+        let y = d.forward(&x, &mut FaultContext::clean());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(y.at(&[0, 1, i, j]), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn backward_shapes_and_grads() {
+        let mut d = DepthwiseConv2d::new(3, 3, 2, 1, 2);
+        let x = Tensor::from_vec(vec![0.5; 3 * 8 * 8], &[1, 3, 8, 8]);
+        let y = d.forward(&x, &mut FaultContext::clean());
+        assert_eq!(y.shape(), &[1, 3, 4, 4]);
+        let gx = d.backward(&Tensor::from_vec(vec![1.0; y.len()], y.shape()));
+        assert_eq!(gx.shape(), x.shape());
+        assert!(d.weight.grad.iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn param_count_is_linear_in_channels() {
+        assert_eq!(DepthwiseConv2d::new(8, 3, 1, 1, 0).param_count(), 8 * 9 + 8);
+    }
+}

@@ -1,0 +1,48 @@
+//! Flatten `[B, C, H, W]` to `[B, C·H·W]`.
+
+use super::Layer;
+use crate::fault::FaultContext;
+use crate::tensor::Tensor;
+
+/// Flattens all dimensions after the batch dimension.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, _ctx: &mut FaultContext) -> Tensor {
+        self.in_shape = x.shape().to_vec();
+        let b = self.in_shape[0];
+        x.clone().reshape(&[b, x.len() / b])
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        grad.clone().reshape(&self.in_shape)
+    }
+
+    fn name(&self) -> &str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 5]);
+        let y = f.forward(&x, &mut FaultContext::clean());
+        assert_eq!(y.shape(), &[2, 60]);
+        assert_eq!(f.backward(&y).shape(), &[2, 3, 4, 5]);
+    }
+}

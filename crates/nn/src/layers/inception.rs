@@ -1,0 +1,170 @@
+//! Inception block (GoogLeNet style).
+
+use super::{Conv2d, Layer, Relu};
+use crate::fault::FaultContext;
+use crate::tensor::Tensor;
+
+/// Three parallel branches concatenated along channels:
+/// 1×1, 1×1→3×3, and 1×1→5×5 (each followed by ReLU).
+pub struct InceptionBlock {
+    b1: (Conv2d, Relu),
+    b3_reduce: (Conv2d, Relu),
+    b3: (Conv2d, Relu),
+    b5_reduce: (Conv2d, Relu),
+    b5: (Conv2d, Relu),
+    widths: (usize, usize, usize),
+    in_shape: Vec<usize>,
+    name: String,
+}
+
+impl InceptionBlock {
+    /// Creates a block with branch widths `(w1, w3, w5)`; the reduce convs
+    /// halve the incoming channels (minimum 1).
+    pub fn new(in_ch: usize, w1: usize, w3: usize, w5: usize, seed: u64) -> Self {
+        let red = (in_ch / 2).max(1);
+        Self {
+            b1: (Conv2d::new(in_ch, w1, 1, 1, 0, seed ^ 0x10), Relu::new()),
+            b3_reduce: (Conv2d::new(in_ch, red, 1, 1, 0, seed ^ 0x31), Relu::new()),
+            b3: (Conv2d::new(red, w3, 3, 1, 1, seed ^ 0x32), Relu::new()),
+            b5_reduce: (Conv2d::new(in_ch, red, 1, 1, 0, seed ^ 0x51), Relu::new()),
+            b5: (Conv2d::new(red, w5, 5, 1, 2, seed ^ 0x52), Relu::new()),
+            widths: (w1, w3, w5),
+            in_shape: Vec::new(),
+            name: format!("inception({in_ch}->{}+{}+{})", w1, w3, w5),
+        }
+    }
+
+    /// Total output channels.
+    pub fn out_ch(&self) -> usize {
+        self.widths.0 + self.widths.1 + self.widths.2
+    }
+}
+
+fn concat_channels(parts: &[&Tensor]) -> Tensor {
+    let [b, _, h, w] = parts[0].shape() else { panic!("expected [B,C,H,W]") };
+    let (b, h, w) = (*b, *h, *w);
+    let total_c: usize = parts.iter().map(|p| p.shape()[1]).sum();
+    let mut out = Tensor::zeros(&[b, total_c, h, w]);
+    let os = out.data_mut();
+    let hw = h * w;
+    for bi in 0..b {
+        let mut c_off = 0;
+        for p in parts {
+            let pc = p.shape()[1];
+            let src = &p.data()[bi * pc * hw..(bi + 1) * pc * hw];
+            os[(bi * total_c + c_off) * hw..(bi * total_c + c_off + pc) * hw].copy_from_slice(src);
+            c_off += pc;
+        }
+    }
+    out
+}
+
+fn split_channels(grad: &Tensor, widths: &[usize]) -> Vec<Tensor> {
+    let [b, total_c, h, w] = grad.shape() else { panic!("expected [B,C,H,W]") };
+    let (b, total_c, h, w) = (*b, *total_c, *h, *w);
+    assert_eq!(widths.iter().sum::<usize>(), total_c, "split widths mismatch");
+    let hw = h * w;
+    let mut outs: Vec<Tensor> = widths.iter().map(|&c| Tensor::zeros(&[b, c, h, w])).collect();
+    for bi in 0..b {
+        let mut c_off = 0;
+        for (o, &c) in outs.iter_mut().zip(widths) {
+            let dst = &mut o.data_mut()[bi * c * hw..(bi + 1) * c * hw];
+            dst.copy_from_slice(&grad.data()[(bi * total_c + c_off) * hw..(bi * total_c + c_off + c) * hw]);
+            c_off += c;
+        }
+    }
+    outs
+}
+
+impl Layer for InceptionBlock {
+    fn forward(&mut self, x: &Tensor, ctx: &mut FaultContext) -> Tensor {
+        self.in_shape = x.shape().to_vec();
+        let y1 = self.b1.1.forward(&self.b1.0.forward(x, ctx), ctx);
+        let h3 = self.b3_reduce.1.forward(&self.b3_reduce.0.forward(x, ctx), ctx);
+        let y3 = self.b3.1.forward(&self.b3.0.forward(&h3, ctx), ctx);
+        let h5 = self.b5_reduce.1.forward(&self.b5_reduce.0.forward(x, ctx), ctx);
+        let y5 = self.b5.1.forward(&self.b5.0.forward(&h5, ctx), ctx);
+        concat_channels(&[&y1, &y3, &y5])
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let (w1, w3, w5) = self.widths;
+        let parts = split_channels(grad, &[w1, w3, w5]);
+        let g1 = self.b1.0.backward(&self.b1.1.backward(&parts[0]));
+        let g3h = self.b3.0.backward(&self.b3.1.backward(&parts[1]));
+        let g3 = self.b3_reduce.0.backward(&self.b3_reduce.1.backward(&g3h));
+        let g5h = self.b5.0.backward(&self.b5.1.backward(&parts[2]));
+        let g5 = self.b5_reduce.0.backward(&self.b5_reduce.1.backward(&g5h));
+        let mut gx = g1;
+        gx.axpy(1.0, &g3);
+        gx.axpy(1.0, &g5);
+        gx
+    }
+
+    fn update(&mut self, lr: f32) {
+        for conv in [
+            &mut self.b1.0,
+            &mut self.b3_reduce.0,
+            &mut self.b3.0,
+            &mut self.b5_reduce.0,
+            &mut self.b5.0,
+        ] {
+            conv.update(lr);
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.b1.0.param_count()
+            + self.b3_reduce.0.param_count()
+            + self.b3.0.param_count()
+            + self.b5_reduce.0.param_count()
+            + self.b5.0.param_count()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for InceptionBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "InceptionBlock({})", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_split_roundtrip() {
+        let a = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]);
+        let b = Tensor::from_vec((8..12).map(|v| v as f32).collect(), &[1, 1, 2, 2]);
+        let cat = concat_channels(&[&a, &b]);
+        assert_eq!(cat.shape(), &[1, 3, 2, 2]);
+        let parts = split_channels(&cat, &[2, 1]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut blk = InceptionBlock::new(4, 2, 3, 1, 7);
+        let x = Tensor::zeros(&[2, 4, 6, 6]);
+        let mut ctx = FaultContext::clean();
+        let y = blk.forward(&x, &mut ctx);
+        assert_eq!(y.shape(), &[2, 6, 6, 6]);
+        assert_eq!(blk.out_ch(), 6);
+        let gx = blk.backward(&Tensor::zeros(&[2, 6, 6, 6]));
+        assert_eq!(gx.shape(), &[2, 4, 6, 6]);
+    }
+
+    #[test]
+    fn batched_concat_keeps_samples_separate() {
+        let a = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[2, 1, 2, 2]);
+        let b = Tensor::from_vec((100..108).map(|v| v as f32).collect(), &[2, 1, 2, 2]);
+        let cat = concat_channels(&[&a, &b]);
+        assert_eq!(cat.at(&[1, 0, 0, 0]), 4.0);
+        assert_eq!(cat.at(&[1, 1, 0, 0]), 104.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Fully-connected layer.
+
+use super::{Layer, ParamState};
+use crate::fault::FaultContext;
+use crate::tensor::Tensor;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// A dense layer: weights `[out, in]` plus bias.
+#[derive(Debug)]
+pub struct Linear {
+    in_dim: usize,
+    out_dim: usize,
+    weight: ParamState,
+    bias: ParamState,
+    cached_x: Option<Tensor>,
+    cached_w: Option<Vec<f32>>,
+    name: String,
+}
+
+impl Linear {
+    /// Creates a dense layer with He-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "linear dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x11EA4);
+        let scale = (2.0 / in_dim as f32).sqrt();
+        let weight: Vec<f32> = (0..out_dim * in_dim)
+            .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale)
+            .collect();
+        Self {
+            in_dim,
+            out_dim,
+            weight: ParamState::new(weight),
+            bias: ParamState::new(vec![0.0; out_dim]),
+            cached_x: None,
+            cached_w: None,
+            name: format!("linear({in_dim}->{out_dim})"),
+        }
+    }
+
+    /// The weights, `[out × in]` row-major.
+    pub fn weights(&self) -> &[f32] {
+        &self.weight.value
+    }
+
+    /// The per-output biases.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias.value
+    }
+
+    /// `(in_dim, out_dim)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.in_dim, self.out_dim)
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, ctx: &mut FaultContext) -> Tensor {
+        let [b, f] = x.shape() else { panic!("linear expects [B,F], got {:?}", x.shape()) };
+        let (b, f) = (*b, *f);
+        assert_eq!(f, self.in_dim, "feature mismatch in {}", self.name);
+        let x = ctx.corrupt(x);
+        let w = ctx
+            .corrupt(&Tensor::from_vec(self.weight.value.clone(), &[self.out_dim, self.in_dim]))
+            .data()
+            .to_vec();
+        let mut y = Tensor::zeros(&[b, self.out_dim]);
+        let xs = x.data();
+        let ys = y.data_mut();
+        for bi in 0..b {
+            for o in 0..self.out_dim {
+                let mut acc = self.bias.value[o];
+                let row = &w[o * self.in_dim..(o + 1) * self.in_dim];
+                for (xi, wi) in xs[bi * f..(bi + 1) * f].iter().zip(row) {
+                    acc += xi * wi;
+                }
+                ys[bi * self.out_dim + o] = acc;
+            }
+        }
+        self.cached_x = Some(x);
+        self.cached_w = Some(w);
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cached_x.as_ref().expect("backward before forward");
+        let w = self.cached_w.as_ref().expect("backward before forward");
+        let [b, f] = x.shape() else { unreachable!() };
+        let (b, f) = (*b, *f);
+        let mut gx = Tensor::zeros(&[b, f]);
+        let xs = x.data();
+        let gs = grad.data();
+        let gxs = gx.data_mut();
+        for bi in 0..b {
+            for o in 0..self.out_dim {
+                let g = gs[bi * self.out_dim + o];
+                if g == 0.0 {
+                    continue;
+                }
+                self.bias.grad[o] += g;
+                for i in 0..f {
+                    self.weight.grad[o * f + i] += g * xs[bi * f + i];
+                    gxs[bi * f + i] += g * w[o * f + i];
+                }
+            }
+        }
+        gx
+    }
+
+    fn update(&mut self, lr: f32) {
+        self.weight.sgd_step(lr);
+        self.bias.sgd_step(lr);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.value.len() + self.bias.value.len()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual_matmul() {
+        let mut l = Linear::new(2, 2, 1);
+        l.weight.value = vec![1.0, 2.0, 3.0, 4.0];
+        l.bias.value = vec![0.5, -0.5];
+        let x = Tensor::from_vec(vec![1.0, 0.5], &[1, 2]);
+        let y = l.forward(&x, &mut FaultContext::clean());
+        assert!((y.at(&[0, 0]) - 2.5).abs() < 1e-3);
+        assert!((y.at(&[0, 1]) - 4.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn backward_grads() {
+        let mut l = Linear::new(2, 1, 1);
+        l.weight.value = vec![2.0, -1.0];
+        let x = Tensor::from_vec(vec![0.5, 0.25], &[1, 2]);
+        let _ = l.forward(&x, &mut FaultContext::clean());
+        let gx = l.backward(&Tensor::from_vec(vec![1.0], &[1, 1]));
+        assert!((gx.at(&[0, 0]) - 2.0).abs() < 1e-3);
+        assert!((gx.at(&[0, 1]) + 1.0).abs() < 1e-3);
+        assert!((l.weight.grad[0] - 0.5).abs() < 1e-3);
+        assert!((l.bias.grad[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn batch_forward() {
+        let mut l = Linear::new(3, 4, 2);
+        let y = l.forward(&Tensor::zeros(&[5, 3]), &mut FaultContext::clean());
+        assert_eq!(y.shape(), &[5, 4]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Softmax cross-entropy loss.
+
+use crate::tensor::Tensor;
+
+/// Softmax + cross-entropy, fused for numerical stability.
+#[derive(Debug, Default)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Computes the mean loss and the gradient w.r.t. logits for a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the batch size or any label is
+    /// out of range.
+    pub fn loss_and_grad(&self, logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+        let [b, k] = logits.shape() else { panic!("loss expects [B,K], got {:?}", logits.shape()) };
+        let (b, k) = (*b, *k);
+        assert_eq!(labels.len(), b, "labels/batch mismatch");
+        let mut grad = Tensor::zeros(&[b, k]);
+        let mut loss = 0.0f32;
+        let xs = logits.data();
+        let gs = grad.data_mut();
+        for (bi, &label) in labels.iter().enumerate() {
+            assert!(label < k, "label {label} out of range for {k} classes");
+            let row = &xs[bi * k..(bi + 1) * k];
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            loss -= (exps[label] / sum).max(1e-12).ln();
+            for j in 0..k {
+                gs[bi * k + j] = (exps[j] / sum - if j == label { 1.0 } else { 0.0 }) / b as f32;
+            }
+        }
+        (loss / b as f32, grad)
+    }
+
+    /// Argmax predictions for a batch of logits.
+    pub fn predict(&self, logits: &Tensor) -> Vec<usize> {
+        let [b, k] = logits.shape() else { panic!("predict expects [B,K]") };
+        let (b, k) = (*b, *k);
+        (0..b)
+            .map(|bi| {
+                let row = &logits.data()[bi * k..(bi + 1) * k];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0], &[1, 3]);
+        let (l, g) = loss.loss_and_grad(&logits, &[0]);
+        assert!(l < 1e-3, "loss {l}");
+        assert!(g.max_abs() < 1e-3);
+    }
+
+    #[test]
+    fn wrong_prediction_has_high_loss_and_gradient() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![10.0, -10.0], &[1, 2]);
+        let (l, g) = loss.loss_and_grad(&logits, &[1]);
+        assert!(l > 5.0, "loss {l}");
+        assert!(g.at(&[0, 0]) > 0.5);
+        assert!(g.at(&[0, 1]) < -0.5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_sample() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![0.3, -1.2, 0.8, 2.0, 0.0, -0.5], &[2, 3]);
+        let (_, g) = loss.loss_and_grad(&logits, &[2, 0]);
+        for bi in 0..2 {
+            let s: f32 = (0..3).map(|j| g.at(&[bi, j])).sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn predict_argmax() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![0.1, 0.9, 0.5, 2.0, 1.0, -1.0], &[2, 3]);
+        assert_eq!(loss.predict(&logits), vec![1, 0]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Neural-network layers with forward and backward passes.
+//!
+//! Every layer's forward pass routes its input — and its weights, for
+//! parameterized layers — through the [`FaultContext`]: 16-bit fixed-point
+//! quantization plus bit-level retention-error injection (paper §IV-B).
+//! Backward passes use the corrupted values cached during forward, so the
+//! weight updates adapt to the injected errors.
+
+pub mod activation;
+pub mod batchnorm;
+pub mod conv;
+pub mod depthwise;
+pub mod flatten;
+pub mod inception;
+pub mod linear;
+pub mod loss;
+pub mod pool;
+pub mod residual;
+
+pub use activation::Relu;
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use depthwise::DepthwiseConv2d;
+pub use flatten::Flatten;
+pub use inception::InceptionBlock;
+pub use linear::Linear;
+pub use loss::SoftmaxCrossEntropy;
+pub use pool::MaxPool2d;
+pub use residual::ResidualBlock;
+
+use crate::fault::FaultContext;
+use crate::tensor::Tensor;
+
+/// A differentiable layer.
+pub trait Layer {
+    /// Forward pass. `ctx` quantizes and fault-injects activations and
+    /// weights.
+    fn forward(&mut self, x: &Tensor, ctx: &mut FaultContext) -> Tensor;
+
+    /// Backward pass: gradient w.r.t. the layer's input, accumulating
+    /// parameter gradients internally.
+    ///
+    /// Must be called after [`forward`](Layer::forward) with a gradient of
+    /// the forward output's shape.
+    fn backward(&mut self, grad: &Tensor) -> Tensor;
+
+    /// Applies accumulated parameter gradients with SGD + momentum and
+    /// clears them. Default: parameter-free layer, no-op.
+    fn update(&mut self, _lr: f32) {}
+
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Layer name for diagnostics.
+    fn name(&self) -> &str;
+}
+
+/// A sequential stack of layers.
+///
+/// # Example
+///
+/// ```
+/// use rana_nn::layers::{Conv2d, Flatten, Linear, Relu};
+/// use rana_nn::{FaultContext, Layer, Sequential, Tensor};
+///
+/// let mut net = Sequential::new("tiny");
+/// net.push(Conv2d::new(1, 4, 3, 1, 1, 1));
+/// net.push(Relu::new());
+/// net.push(Flatten::new());
+/// net.push(Linear::new(4 * 8 * 8, 3, 2));
+/// let y = net.forward(&Tensor::zeros(&[2, 1, 8, 8]), &mut FaultContext::clean());
+/// assert_eq!(y.shape(), &[2, 3]);
+/// ```
+pub struct Sequential {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, ctx: &mut FaultContext) -> Tensor {
+        let mut out = x.clone();
+        for layer in &mut self.layers {
+            out = layer.forward(&out, ctx);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn update(&mut self, lr: f32) {
+        for layer in &mut self.layers {
+            layer.update(lr);
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({}: {} layers, {} params)", self.name, self.len(), self.param_count())
+    }
+}
+
+/// SGD-with-momentum state for one parameter tensor, shared by the
+/// parameterized layers.
+#[derive(Debug, Clone)]
+pub(crate) struct ParamState {
+    pub value: Vec<f32>,
+    pub grad: Vec<f32>,
+    pub velocity: Vec<f32>,
+}
+
+impl ParamState {
+    pub fn new(value: Vec<f32>) -> Self {
+        let n = value.len();
+        Self { value, grad: vec![0.0; n], velocity: vec![0.0; n] }
+    }
+
+    /// `v = 0.9 v - lr g; w += v; g = 0`.
+    pub fn sgd_step(&mut self, lr: f32) {
+        for ((w, g), v) in self.value.iter_mut().zip(&mut self.grad).zip(&mut self.velocity) {
+            *v = 0.9 * *v - lr * *g;
+            *w += *v;
+            *g = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_chains_shapes() {
+        let mut net = Sequential::new("t");
+        net.push(Conv2d::new(1, 2, 3, 1, 1, 0));
+        net.push(Relu::new());
+        net.push(MaxPool2d::new(2));
+        net.push(Flatten::new());
+        net.push(Linear::new(2 * 4 * 4, 5, 1));
+        let mut ctx = FaultContext::clean();
+        let y = net.forward(&Tensor::zeros(&[3, 1, 8, 8]), &mut ctx);
+        assert_eq!(y.shape(), &[3, 5]);
+        let gx = net.backward(&Tensor::zeros(&[3, 5]));
+        assert_eq!(gx.shape(), &[3, 1, 8, 8]);
+        assert!(net.param_count() > 0);
+    }
+
+    #[test]
+    fn sgd_step_moves_against_gradient() {
+        let mut p = ParamState::new(vec![1.0]);
+        p.grad[0] = 2.0;
+        p.sgd_step(0.1);
+        assert!(p.value[0] < 1.0);
+        assert_eq!(p.grad[0], 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Max pooling.
+
+use super::Layer;
+use crate::fault::FaultContext;
+use crate::tensor::Tensor;
+
+/// Non-overlapping max pooling with a square window (window = stride).
+#[derive(Debug)]
+pub struct MaxPool2d {
+    window: usize,
+    argmax: Vec<usize>,
+    in_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a pool of the given window/stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "pooling window must be positive");
+        Self { window, argmax: Vec::new(), in_shape: Vec::new() }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, _ctx: &mut FaultContext) -> Tensor {
+        let [b, c, h, w] = x.shape() else { panic!("pool expects [B,C,H,W], got {:?}", x.shape()) };
+        let (b, c, h, w) = (*b, *c, *h, *w);
+        let s = self.window;
+        assert!(h >= s && w >= s, "input {h}x{w} smaller than window {s}");
+        let (oh, ow) = (h / s, w / s);
+        let mut y = Tensor::zeros(&[b, c, oh, ow]);
+        self.argmax = vec![0; y.len()];
+        self.in_shape = x.shape().to_vec();
+        let xs = x.data();
+        let ys = y.data_mut();
+        for bi in 0..b {
+            for ci in 0..c {
+                for i in 0..oh {
+                    for j in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for u in 0..s {
+                            for v in 0..s {
+                                let idx = ((bi * c + ci) * h + i * s + u) * w + j * s + v;
+                                if xs[idx] > best {
+                                    best = xs[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let oi = ((bi * c + ci) * oh + i) * ow + j;
+                        ys[oi] = best;
+                        self.argmax[oi] = best_idx;
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert_eq!(grad.len(), self.argmax.len(), "backward before forward");
+        let mut gx = Tensor::zeros(&self.in_shape);
+        let gxs = gx.data_mut();
+        for (oi, &g) in grad.data().iter().enumerate() {
+            gxs[self.argmax[oi]] += g;
+        }
+        gx
+    }
+
+    fn name(&self) -> &str {
+        "maxpool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_maxima() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0], &[1, 1, 4, 4]);
+        let y = p.forward(&x, &mut FaultContext::clean());
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let _ = p.forward(&x, &mut FaultContext::clean());
+        let gx = p.backward(&Tensor::from_vec(vec![7.0], &[1, 1, 1, 1]));
+        assert_eq!(gx.data(), &[0.0, 0.0, 0.0, 7.0]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Residual block (ResNet style).
+
+use super::{Conv2d, Layer, Relu};
+use crate::fault::FaultContext;
+use crate::tensor::Tensor;
+
+/// Two 3×3 convolutions with a skip connection:
+/// `y = relu(conv2(relu(conv1(x))) + proj(x))` where `proj` is an optional
+/// 1×1 projection when the channel counts differ.
+pub struct ResidualBlock {
+    conv1: Conv2d,
+    relu1: Relu,
+    conv2: Conv2d,
+    proj: Option<Conv2d>,
+    out_mask: Vec<bool>,
+    name: String,
+}
+
+impl ResidualBlock {
+    /// Creates a block mapping `in_ch` to `out_ch` channels.
+    pub fn new(in_ch: usize, out_ch: usize, seed: u64) -> Self {
+        let proj = if in_ch != out_ch {
+            Some(Conv2d::new(in_ch, out_ch, 1, 1, 0, seed ^ 3))
+        } else {
+            None
+        };
+        Self {
+            conv1: Conv2d::new(in_ch, out_ch, 3, 1, 1, seed ^ 1),
+            relu1: Relu::new(),
+            conv2: Conv2d::new(out_ch, out_ch, 3, 1, 1, seed ^ 2),
+            proj,
+            out_mask: Vec::new(),
+            name: format!("residual({in_ch}->{out_ch})"),
+        }
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn forward(&mut self, x: &Tensor, ctx: &mut FaultContext) -> Tensor {
+        let h = self.conv1.forward(x, ctx);
+        let h = self.relu1.forward(&h, ctx);
+        let mut h = self.conv2.forward(&h, ctx);
+        let skip = match &mut self.proj {
+            Some(p) => p.forward(x, ctx),
+            None => x.clone(),
+        };
+        h.axpy(1.0, &skip);
+        // Final ReLU applied inline so backward can gate both paths.
+        self.out_mask = h.data().iter().map(|&v| v > 0.0).collect();
+        let data = h.data().iter().map(|&v| v.max(0.0)).collect();
+        Tensor::from_vec(data, h.shape())
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert_eq!(grad.len(), self.out_mask.len(), "backward before forward");
+        let gated: Vec<f32> = grad
+            .data()
+            .iter()
+            .zip(&self.out_mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        let gated = Tensor::from_vec(gated, grad.shape());
+        // Main path.
+        let g = self.conv2.backward(&gated);
+        let g = self.relu1.backward(&g);
+        let mut gx = self.conv1.backward(&g);
+        // Skip path.
+        let gskip = match &mut self.proj {
+            Some(p) => p.backward(&gated),
+            None => gated,
+        };
+        gx.axpy(1.0, &gskip);
+        gx
+    }
+
+    fn update(&mut self, lr: f32) {
+        self.conv1.update(lr);
+        self.conv2.update(lr);
+        if let Some(p) = &mut self.proj {
+            p.update(lr);
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.conv1.param_count()
+            + self.conv2.param_count()
+            + self.proj.as_ref().map_or(0, |p| p.param_count())
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for ResidualBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ResidualBlock({})", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_with_and_without_projection() {
+        let mut same = ResidualBlock::new(4, 4, 1);
+        let mut grow = ResidualBlock::new(4, 8, 1);
+        let x = Tensor::zeros(&[2, 4, 6, 6]);
+        let mut ctx = FaultContext::clean();
+        assert_eq!(same.forward(&x, &mut ctx).shape(), &[2, 4, 6, 6]);
+        assert_eq!(grow.forward(&x, &mut ctx).shape(), &[2, 8, 6, 6]);
+        assert_eq!(grow.backward(&Tensor::zeros(&[2, 8, 6, 6])).shape(), &[2, 4, 6, 6]);
+    }
+
+    #[test]
+    fn skip_path_carries_gradient() {
+        // With zeroed convs, forward = relu(x) and the gradient flows
+        // through the skip for positive activations.
+        let mut b = ResidualBlock::new(2, 2, 9);
+        let x = Tensor::from_vec(vec![0.5; 2 * 2 * 4 * 4], &[2, 2, 4, 4]);
+        let mut ctx = FaultContext::clean();
+        let y = b.forward(&x, &mut ctx);
+        assert_eq!(y.shape(), x.shape());
+        let g = b.backward(&Tensor::from_vec(vec![1.0; x.len()], x.shape()));
+        // Some gradient must reach the input.
+        assert!(g.max_abs() > 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Mini benchmark models in the architectural styles of the paper's four
+//! benchmarks (DESIGN.md substitution: the error-resilience property of
+//! Figure 11 is architecture-family-level, not scale-level).
+//!
+//! All models take `[B, 1, 12, 12]` synthetic images (see
+//! [`crate::data`]) and emit `classes` logits.
+
+use crate::layers::{Conv2d, Flatten, InceptionBlock, Linear, MaxPool2d, Relu, ResidualBlock, Sequential};
+use crate::data::IMG;
+
+/// AlexNet-style: two large-ish convolutions with pooling, then a
+/// classifier.
+pub fn alexnet_s(classes: usize, seed: u64) -> Sequential {
+    let mut net = Sequential::new("alexnet-s");
+    net.push(Conv2d::new(1, 8, 5, 1, 2, seed ^ 0xA1));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2)); // 12 -> 6
+    net.push(Conv2d::new(8, 16, 3, 1, 1, seed ^ 0xA2));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2)); // 6 -> 3
+    net.push(Flatten::new());
+    net.push(Linear::new(16 * (IMG / 4) * (IMG / 4), classes, seed ^ 0xA3));
+    net
+}
+
+/// VGG-style: a deeper stack of 3×3 convolutions.
+pub fn vgg_s(classes: usize, seed: u64) -> Sequential {
+    let mut net = Sequential::new("vgg-s");
+    net.push(Conv2d::new(1, 8, 3, 1, 1, seed ^ 0xB1));
+    net.push(Relu::new());
+    net.push(Conv2d::new(8, 8, 3, 1, 1, seed ^ 0xB2));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2)); // 12 -> 6
+    net.push(Conv2d::new(8, 16, 3, 1, 1, seed ^ 0xB3));
+    net.push(Relu::new());
+    net.push(Conv2d::new(16, 16, 3, 1, 1, seed ^ 0xB4));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2)); // 6 -> 3
+    net.push(Flatten::new());
+    net.push(Linear::new(16 * (IMG / 4) * (IMG / 4), classes, seed ^ 0xB5));
+    net
+}
+
+/// GoogLeNet-style: a stem convolution followed by an inception module.
+pub fn googlenet_s(classes: usize, seed: u64) -> Sequential {
+    let mut net = Sequential::new("googlenet-s");
+    net.push(Conv2d::new(1, 8, 3, 1, 1, seed ^ 0xC1));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2)); // 12 -> 6
+    let inception = InceptionBlock::new(8, 4, 6, 2, seed ^ 0xC2);
+    let out_ch = inception.out_ch();
+    net.push(inception);
+    net.push(MaxPool2d::new(2)); // 6 -> 3
+    net.push(Flatten::new());
+    net.push(Linear::new(out_ch * (IMG / 4) * (IMG / 4), classes, seed ^ 0xC3));
+    net
+}
+
+/// ResNet-style: a stem convolution and two residual blocks.
+pub fn resnet_s(classes: usize, seed: u64) -> Sequential {
+    let mut net = Sequential::new("resnet-s");
+    net.push(Conv2d::new(1, 8, 3, 1, 1, seed ^ 0xD1));
+    net.push(Relu::new());
+    net.push(ResidualBlock::new(8, 8, seed ^ 0xD2));
+    net.push(MaxPool2d::new(2)); // 12 -> 6
+    net.push(ResidualBlock::new(8, 16, seed ^ 0xD3));
+    net.push(MaxPool2d::new(2)); // 6 -> 3
+    net.push(Flatten::new());
+    net.push(Linear::new(16 * (IMG / 4) * (IMG / 4), classes, seed ^ 0xD4));
+    net
+}
+
+/// MobileNet-style: depthwise-separable blocks with batch normalization —
+/// exercises the framework beyond the paper's four benchmark families.
+pub fn mobilenet_s(classes: usize, seed: u64) -> Sequential {
+    use crate::layers::{BatchNorm2d, DepthwiseConv2d};
+    let mut net = Sequential::new("mobilenet-s");
+    net.push(Conv2d::new(1, 8, 3, 1, 1, seed ^ 0xE1));
+    net.push(BatchNorm2d::new(8));
+    net.push(Relu::new());
+    // Block 1: depthwise + pointwise.
+    net.push(DepthwiseConv2d::new(8, 3, 1, 1, seed ^ 0xE2));
+    net.push(Conv2d::new(8, 16, 1, 1, 0, seed ^ 0xE3));
+    net.push(BatchNorm2d::new(16));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2)); // 12 -> 6
+    // Block 2.
+    net.push(DepthwiseConv2d::new(16, 3, 1, 1, seed ^ 0xE4));
+    net.push(Conv2d::new(16, 16, 1, 1, 0, seed ^ 0xE5));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2)); // 6 -> 3
+    net.push(Flatten::new());
+    net.push(Linear::new(16 * (IMG / 4) * (IMG / 4), classes, seed ^ 0xE6));
+    net
+}
+
+/// The four mini benchmarks with the names the paper uses, as
+/// `(name, constructor)` pairs.
+pub fn mini_benchmarks() -> Vec<(&'static str, fn(usize, u64) -> Sequential)> {
+    vec![
+        ("AlexNet", alexnet_s as fn(usize, u64) -> Sequential),
+        ("VGG", vgg_s),
+        ("GoogLeNet", googlenet_s),
+        ("ResNet", resnet_s),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultContext;
+    use crate::layers::Layer;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn all_models_produce_logits() {
+        let x = Tensor::zeros(&[2, 1, IMG, IMG]);
+        for (name, make) in mini_benchmarks() {
+            let mut net = make(5, 42);
+            let mut ctx = FaultContext::clean();
+            let y = net.forward(&x, &mut ctx);
+            assert_eq!(y.shape(), &[2, 5], "{name}");
+            let gx = net.backward(&Tensor::zeros(&[2, 5]));
+            assert_eq!(gx.shape(), &[2, 1, IMG, IMG], "{name}");
+            assert!(net.param_count() > 100, "{name} has too few parameters");
+        }
+    }
+
+    #[test]
+    fn mobilenet_s_trains_and_infers() {
+        let x = Tensor::zeros(&[2, 1, IMG, IMG]);
+        let mut net = mobilenet_s(4, 3);
+        let mut ctx = FaultContext::clean();
+        let y = net.forward(&x, &mut ctx);
+        assert_eq!(y.shape(), &[2, 4]);
+        let gx = net.backward(&Tensor::zeros(&[2, 4]));
+        assert_eq!(gx.shape(), &[2, 1, IMG, IMG]);
+        net.update(0.05);
+    }
+
+    #[test]
+    fn models_are_seed_deterministic() {
+        let x = Tensor::from_vec(vec![0.25; IMG * IMG], &[1, 1, IMG, IMG]);
+        let mut a = resnet_s(3, 7);
+        let mut b = resnet_s(3, 7);
+        let ya = a.forward(&x, &mut FaultContext::clean());
+        let yb = b.forward(&x, &mut FaultContext::clean());
+        assert_eq!(ya.data(), yb.data());
+    }
+}

@@ -1,0 +1,170 @@
+//! The retention-aware training method (paper §IV-B, Figure 9).
+//!
+//! Workflow: fixed-point pretrain → add bit-level error masks at failure
+//! rate `r` → retrain → if the accuracy constraint holds, `r` is tolerable
+//! and maps to a tolerable retention time through the eDRAM retention
+//! distribution.
+
+use crate::data::SyntheticDataset;
+use crate::layers::Sequential;
+use crate::train::Trainer;
+use rana_edram::RetentionDistribution;
+
+/// Measured accuracy-vs-failure-rate curve (one line of Figure 11, plus
+/// the no-retraining ablation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyCurve {
+    /// Model name.
+    pub model: String,
+    /// The failure rates probed.
+    pub rates: Vec<f64>,
+    /// Clean fixed-point baseline accuracy (rate 0, the 100% reference).
+    pub baseline: f64,
+    /// Accuracy of the *pretrained* model under each rate (no retraining).
+    pub without_retrain: Vec<f64>,
+    /// Accuracy after retention-aware retraining at each rate.
+    pub with_retrain: Vec<f64>,
+}
+
+impl AccuracyCurve {
+    /// Relative accuracy (vs baseline) after retraining, clamped to [0, 1.05]
+    /// — the quantity Figure 11 plots.
+    pub fn relative_with_retrain(&self) -> Vec<f64> {
+        self.with_retrain.iter().map(|&a| (a / self.baseline).min(1.05)).collect()
+    }
+
+    /// The highest probed failure rate whose retrained relative accuracy is
+    /// at least `min_relative` (the paper's "accuracy constraint").
+    pub fn highest_tolerable_rate(&self, min_relative: f64) -> Option<f64> {
+        self.rates
+            .iter()
+            .zip(self.relative_with_retrain())
+            .filter(|&(_, rel)| rel >= min_relative)
+            .map(|(&r, _)| r)
+            .fold(None, |acc: Option<f64>, r| Some(acc.map_or(r, |a| a.max(r))))
+    }
+}
+
+/// Stage-1 driver: pretrain, inject, retrain, evaluate.
+#[derive(Debug, Clone)]
+pub struct RetentionAwareTrainer {
+    /// Epochs of clean fixed-point pretraining.
+    pub pretrain_epochs: usize,
+    /// Epochs of retraining with injected errors.
+    pub retrain_epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Evaluation trials per rate (errors are stochastic).
+    pub eval_trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RetentionAwareTrainer {
+    fn default() -> Self {
+        Self { pretrain_epochs: 8, retrain_epochs: 4, lr: 0.05, eval_trials: 3, seed: 0x52414E41 }
+    }
+}
+
+impl RetentionAwareTrainer {
+    /// Runs the full method for one model family: returns the accuracy
+    /// curve over `rates`.
+    ///
+    /// `make` builds a fresh model from a seed (the method needs identical
+    /// restarts per rate: retraining continues from the *same* pretrained
+    /// weights, which deterministic seeding reproduces).
+    pub fn run(
+        &self,
+        name: &str,
+        make: impl Fn(usize, u64) -> Sequential,
+        data: &SyntheticDataset,
+        rates: &[f64],
+    ) -> AccuracyCurve {
+        let (train, test) = data.split(0.8);
+        let classes = data.classes();
+
+        // Fixed-point pretrain + clean baseline.
+        let mut pretrained = make(classes, self.seed);
+        let mut trainer = Trainer::new(self.lr, self.seed ^ 1);
+        trainer.train(&mut pretrained, &train, self.pretrain_epochs, 0.0);
+        let baseline = trainer.evaluate(&mut pretrained, &test, 0.0, 1).max(1e-6);
+
+        let mut without_retrain = Vec::with_capacity(rates.len());
+        let mut with_retrain = Vec::with_capacity(rates.len());
+        for (i, &rate) in rates.iter().enumerate() {
+            // Ablation: pretrained model under errors, no retraining.
+            without_retrain.push(trainer.evaluate(&mut pretrained, &test, rate, self.eval_trials));
+
+            // Retention-aware path: rebuild the identical pretrained model,
+            // then retrain with the error mask active.
+            let mut net = make(classes, self.seed);
+            let mut t = Trainer::new(self.lr, self.seed ^ 1);
+            t.train(&mut net, &train, self.pretrain_epochs, 0.0);
+            let mut rt = Trainer::new(self.lr * 0.5, self.seed ^ (i as u64 + 2));
+            rt.train(&mut net, &train, self.retrain_epochs, rate);
+            with_retrain.push(rt.evaluate(&mut net, &test, rate, self.eval_trials));
+        }
+
+        AccuracyCurve {
+            model: name.to_string(),
+            rates: rates.to_vec(),
+            baseline,
+            without_retrain,
+            with_retrain,
+        }
+    }
+
+    /// Maps a tolerable failure rate to the tolerable retention time (µs)
+    /// through the eDRAM retention distribution — the output Stage 1 hands
+    /// to Stage 2.
+    pub fn tolerable_retention_us(dist: &RetentionDistribution, rate: f64) -> f64 {
+        dist.tolerable_retention_us(rate)
+    }
+}
+
+/// The failure rates the paper probes in Figure 11.
+pub const PAPER_RATES: [f64; 5] = [1e-5, 1e-4, 1e-3, 1e-2, 1e-1];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn curve_tolerable_rate_logic() {
+        let curve = AccuracyCurve {
+            model: "t".into(),
+            rates: vec![1e-5, 1e-4, 1e-3],
+            baseline: 0.9,
+            without_retrain: vec![0.9, 0.8, 0.5],
+            with_retrain: vec![0.9, 0.89, 0.6],
+        };
+        assert_eq!(curve.highest_tolerable_rate(0.98), Some(1e-4));
+        assert_eq!(curve.highest_tolerable_rate(0.999), Some(1e-5));
+        assert_eq!(curve.highest_tolerable_rate(2.0), None);
+    }
+
+    #[test]
+    fn rate_to_retention_mapping() {
+        let dist = RetentionDistribution::kong2008();
+        let t = RetentionAwareTrainer::tolerable_retention_us(&dist, 1e-5);
+        assert!((t - 734.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn small_run_produces_flat_curve_at_tiny_rates() {
+        // A fast smoke version of Figure 11's key claim: 1e-5 is harmless.
+        let data = SyntheticDataset::new(4, 120, 19);
+        let trainer = RetentionAwareTrainer {
+            pretrain_epochs: 3,
+            retrain_epochs: 1,
+            lr: 0.05,
+            eval_trials: 1,
+            seed: 77,
+        };
+        let curve = trainer.run("smoke", models::alexnet_s, &data, &[1e-5]);
+        assert!(curve.baseline > 0.4, "baseline {}", curve.baseline);
+        let rel = curve.relative_with_retrain()[0];
+        assert!(rel > 0.9, "relative accuracy at 1e-5 is {rel}");
+    }
+}

@@ -1,0 +1,182 @@
+//! A minimal dense tensor: `f32` data plus a shape.
+
+use std::fmt;
+
+/// Dense row-major `f32` tensor.
+///
+/// Layouts used by the layers: activations are `[batch, channels, h, w]`,
+/// fully-connected activations `[batch, features]`, convolution weights
+/// `[out_ch, in_ch, k, k]`.
+///
+/// # Example
+///
+/// ```
+/// use rana_nn::Tensor;
+/// let mut t = Tensor::zeros(&[2, 3]);
+/// *t.at_mut(&[1, 2]) = 5.0;
+/// assert_eq!(t.at(&[1, 2]), 5.0);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// All-zeros tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(shape.iter().all(|&d| d > 0), "zero-sized dimension in {shape:?}");
+        Self { data: vec![0.0; shape.iter().product()], shape: shape.to_vec() }
+    }
+
+    /// Tensor from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's volume.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        assert_eq!(data.len(), shape.iter().product::<usize>(), "data/shape mismatch");
+        Self { data, shape: shape.to_vec() }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements (never true: shapes are nonzero).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Flat offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-range index (debug-friendly; the
+    /// hot loops below index flat slices directly).
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.shape.len(), "rank mismatch");
+        let mut off = 0;
+        for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
+            assert!(ix < dim, "index {ix} out of range for dim {i} ({dim})");
+            off = off * dim + ix;
+        }
+        off
+    }
+
+    /// Element at a multi-index.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.offset(index)]
+    }
+
+    /// Mutable element at a multi-index.
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let off = self.offset(index);
+        &mut self.data[off]
+    }
+
+    /// Reshapes in place (volume must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new volume differs.
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        assert_eq!(self.len(), shape.iter().product::<usize>(), "reshape volume mismatch");
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Largest absolute value (0 for all-zero tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Elementwise in-place `self += alpha * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.len() <= 8 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{:.4}, {:.4}, ...; max|x|={:.4}]", self.data[0], self.data[1], self.max_abs())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_row_major() {
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]);
+        assert_eq!(t.at(&[0, 0, 0]), 0.0);
+        assert_eq!(t.at(&[1, 0, 0]), 12.0);
+        assert_eq!(t.at(&[1, 2, 3]), 23.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).reshape(&[4]);
+        assert_eq!(t.at(&[3]), 4.0);
+    }
+
+    #[test]
+    fn axpy() {
+        let mut a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[6.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        Tensor::zeros(&[2, 2]).at(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn bad_from_vec_panics() {
+        Tensor::from_vec(vec![0.0; 5], &[2, 2]);
+    }
+
+    #[test]
+    fn max_abs() {
+        let t = Tensor::from_vec(vec![1.0, -7.5, 3.0], &[3]);
+        assert_eq!(t.max_abs(), 7.5);
+    }
+}

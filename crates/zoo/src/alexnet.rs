@@ -1,0 +1,74 @@
+//! AlexNet (Krizhevsky et al., NIPS 2012) CONV layers for 224×224×3 input.
+//!
+//! The original two-tower (grouped) shapes are used — conv2/conv4/conv5
+//! have 2 channel groups — matching the paper's Table I: max inputs 0.30 MB
+//! (conv1 input), max outputs 0.57 MB (conv1 output), max weights 1.73 MB
+//! (the ungrouped conv3).
+
+use crate::layer::{ConvShape, Layer, PoolShape};
+use crate::network::Network;
+
+/// Builds the AlexNet CONV/pool stack.
+pub fn alexnet() -> Network {
+    let layers = vec![
+        Layer::conv(ConvShape::new("conv1", 3, 224, 224, 96, 11, 4, 2)),
+        Layer::pool(PoolShape::new("pool1", 96, 55, 55, 3, 2)),
+        Layer::conv(ConvShape::new("conv2", 96, 27, 27, 256, 5, 1, 2).with_groups(2)),
+        Layer::pool(PoolShape::new("pool2", 256, 27, 27, 3, 2)),
+        Layer::conv(ConvShape::new("conv3", 256, 13, 13, 384, 3, 1, 1)),
+        Layer::conv(ConvShape::new("conv4", 384, 13, 13, 384, 3, 1, 1).with_groups(2)),
+        Layer::conv(ConvShape::new("conv5", 384, 13, 13, 256, 3, 1, 1).with_groups(2)),
+        Layer::pool(PoolShape::new("pool5", 256, 13, 13, 3, 2)),
+    ];
+    Network::new("AlexNet", layers)
+}
+
+/// AlexNet including the three full-connection layers as CONV layers
+/// (fc6/fc7/fc8 dominate the weight storage: 58.6 MB at 16 bits — the
+/// reason Table I restricts itself to CONV layers).
+pub fn alexnet_with_fc() -> Network {
+    let mut layers = alexnet().layers().to_vec();
+    layers.push(Layer::conv(ConvShape::full_connection("fc6", 256, 6, 4096)));
+    layers.push(Layer::conv(ConvShape::full_connection("fc7", 4096, 1, 4096)));
+    layers.push(Layer::conv(ConvShape::full_connection("fc8", 4096, 1, 1000)));
+    Network::new("AlexNet+FC", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_conv_layers() {
+        assert_eq!(alexnet().conv_layers().count(), 5);
+    }
+
+    #[test]
+    fn conv1_dims() {
+        let net = alexnet();
+        let c1 = net.conv("conv1").unwrap();
+        assert_eq!((c1.out_h(), c1.out_w()), (55, 55));
+    }
+
+    #[test]
+    fn chained_shapes_are_consistent() {
+        let net = alexnet();
+        // conv2 input channels == conv1 output channels, spatial dims follow pool1.
+        let c1 = net.conv("conv1").unwrap();
+        let c2 = net.conv("conv2").unwrap();
+        assert_eq!(c2.in_ch, c1.out_ch);
+        assert_eq!(c2.in_h, 27);
+    }
+
+    #[test]
+    fn table1_storage_within_tolerance() {
+        // Paper Table I (16-bit): 0.30 / 0.57 / 1.73 MB.
+        let net = alexnet();
+        let max_in = net.conv_layers().map(|c| c.input_words() * 2).max().unwrap() as f64 / 1e6;
+        let max_out = net.conv_layers().map(|c| c.output_words() * 2).max().unwrap() as f64 / 1e6;
+        let max_w = net.conv_layers().map(|c| c.weight_words() * 2).max().unwrap() as f64 / 1e6;
+        assert!((max_in - 0.30).abs() / 0.30 < 0.05, "max inputs {max_in} MB");
+        assert!((max_out - 0.57).abs() / 0.57 < 0.05, "max outputs {max_out} MB");
+        assert!((max_w - 1.73).abs() / 1.73 < 0.05, "max weights {max_w} MB");
+    }
+}

@@ -1,0 +1,116 @@
+//! GoogLeNet (Szegedy et al., CVPR 2015) CONV layers for 224×224×3 input.
+//!
+//! Every branch of every inception module is listed as its own CONV layer
+//! (that is how the accelerator executes them). Names follow the Caffe
+//! prototxt: `inception_3a/3x3_reduce`, `inception_5b/5x5`, etc.
+
+use crate::layer::{ConvShape, Layer, PoolShape};
+use crate::network::Network;
+
+/// Per-module inception branch widths `(1x1, 3x3_reduce, 3x3, 5x5_reduce,
+/// 5x5, pool_proj)`.
+struct Inception {
+    name: &'static str,
+    in_ch: usize,
+    hw: usize,
+    b1: usize,
+    b3r: usize,
+    b3: usize,
+    b5r: usize,
+    b5: usize,
+    proj: usize,
+}
+
+impl Inception {
+    fn out_ch(&self) -> usize {
+        self.b1 + self.b3 + self.b5 + self.proj
+    }
+
+    fn layers(&self) -> Vec<Layer> {
+        let Inception { name, in_ch, hw, b1, b3r, b3, b5r, b5, proj } = *self;
+        vec![
+            Layer::conv(ConvShape::new(format!("{name}/1x1"), in_ch, hw, hw, b1, 1, 1, 0)),
+            Layer::conv(ConvShape::new(format!("{name}/3x3_reduce"), in_ch, hw, hw, b3r, 1, 1, 0)),
+            Layer::conv(ConvShape::new(format!("{name}/3x3"), b3r, hw, hw, b3, 3, 1, 1)),
+            Layer::conv(ConvShape::new(format!("{name}/5x5_reduce"), in_ch, hw, hw, b5r, 1, 1, 0)),
+            Layer::conv(ConvShape::new(format!("{name}/5x5"), b5r, hw, hw, b5, 5, 1, 2)),
+            Layer::conv(ConvShape::new(format!("{name}/pool_proj"), in_ch, hw, hw, proj, 1, 1, 0)),
+        ]
+    }
+}
+
+/// Builds the GoogLeNet CONV/pool stack.
+pub fn googlenet() -> Network {
+    let mut layers = vec![
+        Layer::conv(ConvShape::new("conv1/7x7_s2", 3, 224, 224, 64, 7, 2, 3)),
+        Layer::pool(PoolShape::new("pool1/3x3_s2", 64, 112, 112, 3, 2)),
+        Layer::conv(ConvShape::new("conv2/3x3_reduce", 64, 56, 56, 64, 1, 1, 0)),
+        Layer::conv(ConvShape::new("conv2/3x3", 64, 56, 56, 192, 3, 1, 1)),
+        Layer::pool(PoolShape::new("pool2/3x3_s2", 192, 56, 56, 3, 2)),
+    ];
+    let modules = [
+        Inception { name: "inception_3a", in_ch: 192, hw: 28, b1: 64, b3r: 96, b3: 128, b5r: 16, b5: 32, proj: 32 },
+        Inception { name: "inception_3b", in_ch: 256, hw: 28, b1: 128, b3r: 128, b3: 192, b5r: 32, b5: 96, proj: 64 },
+        Inception { name: "inception_4a", in_ch: 480, hw: 14, b1: 192, b3r: 96, b3: 208, b5r: 16, b5: 48, proj: 64 },
+        Inception { name: "inception_4b", in_ch: 512, hw: 14, b1: 160, b3r: 112, b3: 224, b5r: 24, b5: 64, proj: 64 },
+        Inception { name: "inception_4c", in_ch: 512, hw: 14, b1: 128, b3r: 128, b3: 256, b5r: 24, b5: 64, proj: 64 },
+        Inception { name: "inception_4d", in_ch: 512, hw: 14, b1: 112, b3r: 144, b3: 288, b5r: 32, b5: 64, proj: 64 },
+        Inception { name: "inception_4e", in_ch: 528, hw: 14, b1: 256, b3r: 160, b3: 320, b5r: 32, b5: 128, proj: 128 },
+        Inception { name: "inception_5a", in_ch: 832, hw: 7, b1: 256, b3r: 160, b3: 320, b5r: 32, b5: 128, proj: 128 },
+        Inception { name: "inception_5b", in_ch: 832, hw: 7, b1: 384, b3r: 192, b3: 384, b5r: 48, b5: 128, proj: 128 },
+    ];
+    for (i, m) in modules.iter().enumerate() {
+        layers.extend(m.layers());
+        // Grid-reduction pools after 3b and 4e.
+        if m.name == "inception_3b" {
+            layers.push(Layer::pool(PoolShape::new("pool3/3x3_s2", m.out_ch(), 28, 28, 3, 2)));
+        } else if m.name == "inception_4e" {
+            layers.push(Layer::pool(PoolShape::new("pool4/3x3_s2", m.out_ch(), 14, 14, 3, 2)));
+        }
+        // Consistency: the next module's input channels equal this module's
+        // concatenated output channels.
+        if let Some(next) = modules.get(i + 1) {
+            debug_assert_eq!(next.in_ch, m.out_ch(), "channel mismatch after {}", m.name);
+        }
+    }
+    Network::new("GoogLeNet", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_count() {
+        // 3 stem convs + 9 modules x 6 branches = 57 CONV layers.
+        assert_eq!(googlenet().conv_layers().count(), 57);
+    }
+
+    #[test]
+    fn inception_channel_chaining() {
+        let net = googlenet();
+        // 3a output = 64+128+32+32 = 256 = 3b input.
+        assert_eq!(net.conv("inception_3b/1x1").unwrap().in_ch, 256);
+        // 4e output = 256+320+128+128 = 832 = 5a input.
+        assert_eq!(net.conv("inception_5a/3x3_reduce").unwrap().in_ch, 832);
+    }
+
+    #[test]
+    fn table1_storage_within_tolerance() {
+        // Paper Table I (16-bit): 0.39 / 1.57 / 1.30 MB.
+        let net = googlenet();
+        let max_in = net.conv_layers().map(|c| c.input_words() * 2).max().unwrap() as f64 / 1e6;
+        let max_out = net.conv_layers().map(|c| c.output_words() * 2).max().unwrap() as f64 / 1e6;
+        let max_w = net.conv_layers().map(|c| c.weight_words() * 2).max().unwrap() as f64 / 1e6;
+        assert!((max_in - 0.39).abs() / 0.39 < 0.06, "max inputs {max_in} MB");
+        assert!((max_out - 1.57).abs() / 1.57 < 0.05, "max outputs {max_out} MB");
+        assert!((max_w - 1.30).abs() / 1.30 < 0.05, "max weights {max_w} MB");
+    }
+
+    #[test]
+    fn largest_weight_layer_is_5b_3x3() {
+        let net = googlenet();
+        let max = net.conv_layers().max_by_key(|c| c.weight_words()).unwrap();
+        assert_eq!(max.name, "inception_5b/3x3");
+    }
+}

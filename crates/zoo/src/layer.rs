@@ -1,0 +1,416 @@
+//! Layer shapes: convolution and pooling.
+//!
+//! Notation follows the paper's Figure 2: a CONV layer takes `N×H×L` input
+//! feature maps, convolves them with `M` kernels of `N×K×K` at stride `S`,
+//! and produces `M×R×C` output maps.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shape of one convolutional layer.
+///
+/// All storage quantities are in 16-bit *words* — multiply by 2 for bytes, as
+/// the paper's Table I does.
+///
+/// # Example
+///
+/// ```
+/// use rana_zoo::ConvShape;
+/// // The paper's Layer-A: ResNet-50 res4a_branch1.
+/// let a = ConvShape::new("res4a_branch1", 512, 28, 28, 1024, 1, 2, 0);
+/// assert_eq!((a.out_h(), a.out_w()), (14, 14));
+/// assert_eq!(a.macs(), 1024 * 512 * 14 * 14);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvShape {
+    /// Layer name (e.g. `"conv4_2"`, `"res4a_branch1"`).
+    pub name: String,
+    /// Input channels `N`.
+    pub in_ch: usize,
+    /// Input feature-map height `H`.
+    pub in_h: usize,
+    /// Input feature-map width `L`.
+    pub in_w: usize,
+    /// Output channels (kernel count) `M`.
+    pub out_ch: usize,
+    /// Kernel size `K` (square kernels).
+    pub kernel: usize,
+    /// Stride `S`.
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub pad: usize,
+    /// Channel groups (1 for ordinary convolution; AlexNet's conv2/4/5 use
+    /// 2). Each kernel only sees `N / groups` input channels.
+    pub groups: usize,
+}
+
+impl ConvShape {
+    /// Creates a layer shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the kernel does not fit the padded
+    /// input.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        in_ch: usize,
+        in_h: usize,
+        in_w: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        let shape = Self {
+            name: name.into(),
+            in_ch,
+            in_h,
+            in_w,
+            out_ch,
+            kernel,
+            stride,
+            pad,
+            groups: 1,
+        };
+        assert!(
+            in_ch > 0 && in_h > 0 && in_w > 0 && out_ch > 0 && kernel > 0 && stride > 0,
+            "conv dimensions must be positive: {shape:?}"
+        );
+        assert!(
+            in_h + 2 * pad >= kernel && in_w + 2 * pad >= kernel,
+            "kernel does not fit the padded input: {shape:?}"
+        );
+        shape
+    }
+
+    /// A full-connection layer transformed to a CONV layer (paper §II-A:
+    /// "Other layers can be transformed to execute in a similar way"):
+    /// an FC over a `N×H×W` feature volume is a valid convolution with
+    /// `K = H = W` producing `M×1×1` outputs.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rana_zoo::ConvShape;
+    /// // AlexNet fc6: 256x6x6 -> 4096.
+    /// let fc = ConvShape::full_connection("fc6", 256, 6, 4096);
+    /// assert_eq!((fc.out_h(), fc.out_w()), (1, 1));
+    /// assert_eq!(fc.weight_words(), 256 * 36 * 4096);
+    /// ```
+    pub fn full_connection(name: impl Into<String>, in_ch: usize, in_hw: usize, out_features: usize) -> Self {
+        Self::new(name, in_ch, in_hw, in_hw, out_features, in_hw, 1, 0)
+    }
+
+    /// Returns the shape with `groups` channel groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `groups` divides both channel counts.
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        assert!(
+            groups > 0 && self.in_ch % groups == 0 && self.out_ch % groups == 0,
+            "groups must divide in_ch and out_ch: {self:?}"
+        );
+        self.groups = groups;
+        self
+    }
+
+    /// Input channels each kernel actually convolves: `N / groups`.
+    pub fn in_ch_per_group(&self) -> usize {
+        self.in_ch / self.groups
+    }
+
+    /// Output height `R`.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Output width `C`.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Input storage `N·H·L` in 16-bit words.
+    pub fn input_words(&self) -> u64 {
+        (self.in_ch * self.in_h * self.in_w) as u64
+    }
+
+    /// Output storage `M·R·C` in 16-bit words.
+    pub fn output_words(&self) -> u64 {
+        (self.out_ch * self.out_h() * self.out_w()) as u64
+    }
+
+    /// Weight storage `M·(N/groups)·K²` in 16-bit words.
+    pub fn weight_words(&self) -> u64 {
+        (self.out_ch * self.in_ch_per_group() * self.kernel * self.kernel) as u64
+    }
+
+    /// Total multiply-accumulate operations `M·(N/groups)·R·C·K²`.
+    pub fn macs(&self) -> u64 {
+        self.output_words() * (self.in_ch_per_group() * self.kernel * self.kernel) as u64
+    }
+
+    /// Input rows covered by a tile of `tr` output rows: `(tr-1)·S + K`.
+    pub fn tile_in_h(&self, tr: usize) -> usize {
+        (tr.max(1) - 1) * self.stride + self.kernel
+    }
+
+    /// Input columns covered by a tile of `tc` output columns.
+    pub fn tile_in_w(&self, tc: usize) -> usize {
+        (tc.max(1) - 1) * self.stride + self.kernel
+    }
+}
+
+impl fmt::Display for ConvShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}x{}x{} -> {}x{}x{} (k{} s{} p{})",
+            self.name,
+            self.in_ch,
+            self.in_h,
+            self.in_w,
+            self.out_ch,
+            self.out_h(),
+            self.out_w(),
+            self.kernel,
+            self.stride,
+            self.pad
+        )
+    }
+}
+
+/// Shape of a pooling layer (carried for storage statistics only; RANA does
+/// not schedule pooling layers separately, they execute inside the PEs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolShape {
+    /// Layer name.
+    pub name: String,
+    /// Channels.
+    pub channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Pooling window.
+    pub window: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl PoolShape {
+    /// Creates a pooling shape.
+    pub fn new(
+        name: impl Into<String>,
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+        window: usize,
+        stride: usize,
+    ) -> Self {
+        Self { name: name.into(), channels, in_h, in_w, window, stride }
+    }
+
+    /// Output height (ceiling division, Caffe-style).
+    pub fn out_h(&self) -> usize {
+        (self.in_h - self.window).div_ceil(self.stride) + 1
+    }
+
+    /// Output width (ceiling division, Caffe-style).
+    pub fn out_w(&self) -> usize {
+        (self.in_w - self.window).div_ceil(self.stride) + 1
+    }
+
+    /// Input storage in 16-bit words.
+    pub fn input_words(&self) -> u64 {
+        (self.channels * self.in_h * self.in_w) as u64
+    }
+
+    /// Output storage in 16-bit words.
+    pub fn output_words(&self) -> u64 {
+        (self.channels * self.out_h() * self.out_w()) as u64
+    }
+}
+
+/// A network layer: either a scheduled CONV layer or a pass-through pooling
+/// layer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Convolutional layer, scheduled by RANA.
+    Conv(ConvShape),
+    /// Pooling layer, executed inside the PEs.
+    Pool(PoolShape),
+}
+
+/// A named layer of a [`crate::Network`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Layer {
+    /// The layer's shape and kind.
+    pub kind: LayerKind,
+}
+
+impl Layer {
+    /// Wraps a CONV shape.
+    pub fn conv(shape: ConvShape) -> Self {
+        Self { kind: LayerKind::Conv(shape) }
+    }
+
+    /// Wraps a pooling shape.
+    pub fn pool(shape: PoolShape) -> Self {
+        Self { kind: LayerKind::Pool(shape) }
+    }
+
+    /// The layer's name.
+    pub fn name(&self) -> &str {
+        match &self.kind {
+            LayerKind::Conv(c) => &c.name,
+            LayerKind::Pool(p) => &p.name,
+        }
+    }
+
+    /// The CONV shape, if this is a CONV layer.
+    pub fn as_conv(&self) -> Option<&ConvShape> {
+        match &self.kind {
+            LayerKind::Conv(c) => Some(c),
+            LayerKind::Pool(_) => None,
+        }
+    }
+
+    /// Input storage in 16-bit words.
+    pub fn input_words(&self) -> u64 {
+        match &self.kind {
+            LayerKind::Conv(c) => c.input_words(),
+            LayerKind::Pool(p) => p.input_words(),
+        }
+    }
+
+    /// Output storage in 16-bit words.
+    pub fn output_words(&self) -> u64 {
+        match &self.kind {
+            LayerKind::Conv(c) => c.output_words(),
+            LayerKind::Pool(p) => p.output_words(),
+        }
+    }
+
+    /// Weight storage in 16-bit words (zero for pooling).
+    pub fn weight_words(&self) -> u64 {
+        match &self.kind {
+            LayerKind::Conv(c) => c.weight_words(),
+            LayerKind::Pool(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_a_shape_matches_paper() {
+        // §III-B1: Layer-A minimum buffer storage = 785 KB at Tm=Tn=Tr=Tc=1.
+        let a = ConvShape::new("res4a_branch1", 512, 28, 28, 1024, 1, 2, 0);
+        let bs_i = a.input_words() * 2; // bytes
+        let bs_o = (1 * 1 * 1) * 2u64; // Tm·Tr·Tc = 1
+        let bs_w = (512 * 1 * 1) as u64 * 2; // N·Tm·K²
+        let total_kb = (bs_i + bs_o + bs_w) as f64 / 1024.0;
+        assert!((total_kb - 785.0).abs() < 1.0, "got {total_kb} KB");
+    }
+
+    #[test]
+    fn conv_output_dims() {
+        let c = ConvShape::new("c", 3, 224, 224, 96, 11, 4, 2);
+        assert_eq!(c.out_h(), 55);
+        let c = ConvShape::new("c", 64, 224, 224, 64, 3, 1, 1);
+        assert_eq!(c.out_h(), 224);
+    }
+
+    #[test]
+    fn macs_and_storage() {
+        let c = ConvShape::new("c", 2, 8, 8, 4, 3, 1, 1);
+        assert_eq!(c.input_words(), 2 * 8 * 8);
+        assert_eq!(c.output_words(), 4 * 8 * 8);
+        assert_eq!(c.weight_words(), 4 * 2 * 9);
+        assert_eq!(c.macs(), 4 * 8 * 8 * 2 * 9);
+    }
+
+    #[test]
+    fn tile_halo() {
+        let c = ConvShape::new("c", 1, 16, 16, 1, 3, 1, 1);
+        assert_eq!(c.tile_in_h(4), 6); // (4-1)*1 + 3
+        let s2 = ConvShape::new("c", 1, 16, 16, 1, 3, 2, 1);
+        assert_eq!(s2.tile_in_w(4), 9); // (4-1)*2 + 3
+    }
+
+    #[test]
+    fn pool_dims_caffe_ceil() {
+        // AlexNet pool1: 55 -> 27 with window 3 stride 2 (ceil mode).
+        let p = PoolShape::new("pool1", 96, 55, 55, 3, 2);
+        assert_eq!(p.out_h(), 27);
+        // GoogLeNet pool after conv1: 112 -> 56.
+        let p = PoolShape::new("pool1", 64, 112, 112, 3, 2);
+        assert_eq!(p.out_h(), 56);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_panic() {
+        ConvShape::new("bad", 0, 8, 8, 1, 3, 1, 1);
+    }
+
+    #[test]
+    fn layer_accessors() {
+        let l = Layer::conv(ConvShape::new("c", 2, 4, 4, 2, 1, 1, 0));
+        assert_eq!(l.name(), "c");
+        assert!(l.as_conv().is_some());
+        assert_eq!(l.weight_words(), 4);
+        let p = Layer::pool(PoolShape::new("p", 2, 4, 4, 2, 2));
+        assert_eq!(p.weight_words(), 0);
+        assert!(p.as_conv().is_none());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Output dimensions are consistent with the standard convolution
+        /// arithmetic and never zero for valid shapes.
+        #[test]
+        fn conv_output_dims_valid(
+            n in 1usize..64, hw in 3usize..64, m in 1usize..64,
+            k in 1usize..7, s in 1usize..3,
+        ) {
+            prop_assume!(hw >= k);
+            let c = ConvShape::new("p", n, hw, hw, m, k, s, k / 2);
+            prop_assert!(c.out_h() >= 1);
+            prop_assert!(c.out_h() <= hw + 1);
+            // Storage identities.
+            prop_assert_eq!(c.macs(), c.output_words() * (n * k * k) as u64);
+            prop_assert_eq!(c.weight_words(), (m * n * k * k) as u64);
+        }
+
+        /// Grouping divides weights and MACs exactly, never input storage.
+        #[test]
+        fn grouping_divides_weights(groups in 1usize..5, base in 1usize..8, k in 1usize..4) {
+            let ch = groups * base * 2;
+            let c = ConvShape::new("g", ch, 8, 8, ch, k, 1, k / 2).with_groups(groups);
+            let ung = ConvShape::new("u", ch, 8, 8, ch, k, 1, k / 2);
+            prop_assert_eq!(c.weight_words() * groups as u64, ung.weight_words());
+            prop_assert_eq!(c.macs() * groups as u64, ung.macs());
+            prop_assert_eq!(c.input_words(), ung.input_words());
+        }
+
+        /// Tile halos never exceed the padded input extent.
+        #[test]
+        fn halo_bounds(hw in 4usize..64, k in 1usize..6, s in 1usize..3, tr in 1usize..64) {
+            prop_assume!(hw >= k);
+            let c = ConvShape::new("h", 1, hw, hw, 1, k, s, k / 2);
+            let th = c.tile_in_h(tr.min(c.out_h()));
+            prop_assert!(th >= k);
+            prop_assert!(th <= (c.out_h() - 1) * s + k);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! MobileNet-V1 (Howard et al., 2017) CONV layers for 224×224×3 input.
+//!
+//! Not one of the paper's benchmarks — included to show RANA generalizes
+//! to depthwise-separable networks, which the framework's grouped-conv
+//! support handles natively (a depthwise layer is a grouped convolution
+//! with `groups = channels`).
+
+use crate::layer::{ConvShape, Layer};
+use crate::network::Network;
+
+/// One depthwise-separable block: a 3×3 depthwise conv (stride `s`)
+/// followed by a 1×1 pointwise conv.
+fn ds_block(layers: &mut Vec<Layer>, idx: usize, in_ch: usize, out_ch: usize, hw: usize, s: usize) {
+    layers.push(Layer::conv(
+        ConvShape::new(format!("conv{idx}_dw"), in_ch, hw, hw, in_ch, 3, s, 1).with_groups(in_ch),
+    ));
+    let out_hw = hw / s;
+    layers.push(Layer::conv(ConvShape::new(format!("conv{idx}_pw"), in_ch, out_hw, out_hw, out_ch, 1, 1, 0)));
+}
+
+/// Builds the MobileNet-V1 (1.0×) CONV stack.
+pub fn mobilenet_v1() -> Network {
+    let mut layers = vec![Layer::conv(ConvShape::new("conv1", 3, 224, 224, 32, 3, 2, 1))];
+    let blocks: [(usize, usize, usize, usize); 13] = [
+        (32, 64, 112, 1),
+        (64, 128, 112, 2),
+        (128, 128, 56, 1),
+        (128, 256, 56, 2),
+        (256, 256, 28, 1),
+        (256, 512, 28, 2),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 512, 14, 1),
+        (512, 1024, 14, 2),
+        (1024, 1024, 7, 1),
+    ];
+    for (i, &(in_ch, out_ch, hw, s)) in blocks.iter().enumerate() {
+        ds_block(&mut layers, i + 2, in_ch, out_ch, hw, s);
+    }
+    Network::new("MobileNetV1", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_count() {
+        // 1 stem + 13 x (dw + pw) = 27 CONV layers.
+        assert_eq!(mobilenet_v1().conv_layers().count(), 27);
+    }
+
+    #[test]
+    fn depthwise_layers_have_channel_groups() {
+        let net = mobilenet_v1();
+        let dw = net.conv("conv3_dw").unwrap();
+        assert_eq!(dw.groups, dw.in_ch);
+        assert_eq!(dw.in_ch_per_group(), 1);
+        // Depthwise weights: C·K² words, not C²·K².
+        assert_eq!(dw.weight_words(), (dw.in_ch * 9) as u64);
+    }
+
+    #[test]
+    fn macs_are_an_order_below_vgg() {
+        // The whole point of depthwise separability.
+        let mobile = mobilenet_v1().total_macs();
+        let vgg = crate::vgg16().total_macs();
+        assert!(vgg / mobile > 20, "VGG {vgg} vs MobileNet {mobile}");
+        // ~0.57 GMACs for the 1.0x model.
+        assert!((mobile as f64 / 1e9 - 0.57).abs() < 0.05, "MACs {}", mobile as f64 / 1e9);
+    }
+
+    #[test]
+    fn spatial_chain_is_consistent() {
+        let net = mobilenet_v1();
+        assert_eq!(net.conv("conv2_dw").unwrap().in_h, 112);
+        assert_eq!(net.conv("conv14_pw").unwrap().in_h, 7);
+        assert_eq!(net.conv("conv14_pw").unwrap().out_ch, 1024);
+    }
+}

@@ -1,0 +1,124 @@
+//! Network container: an ordered list of named layers.
+
+use crate::layer::{ConvShape, Layer};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An ordered CNN description.
+///
+/// # Example
+///
+/// ```
+/// use rana_zoo::vgg16;
+/// let net = vgg16();
+/// assert_eq!(net.conv_layers().count(), 13);
+/// let layer_b = net.conv("conv4_2").unwrap(); // the paper's Layer-B
+/// assert_eq!(layer_b.in_ch, 512);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Creates a network from its layers.
+    pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Self {
+        Self { name: name.into(), layers }
+    }
+
+    /// The network's name (e.g. `"ResNet"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Iterator over the CONV layers only (the layers RANA schedules).
+    pub fn conv_layers(&self) -> impl Iterator<Item = &ConvShape> {
+        self.layers.iter().filter_map(Layer::as_conv)
+    }
+
+    /// Looks up a layer by name.
+    pub fn layer(&self, name: &str) -> Option<&Layer> {
+        self.layers.iter().find(|l| l.name() == name)
+    }
+
+    /// Looks up a CONV layer by name.
+    pub fn conv(&self, name: &str) -> Option<&ConvShape> {
+        self.layer(name).and_then(Layer::as_conv)
+    }
+
+    /// Position of a named CONV layer among the CONV layers (0-based).
+    pub fn conv_index(&self, name: &str) -> Option<usize> {
+        self.conv_layers().position(|c| c.name == name)
+    }
+
+    /// Total MACs over all CONV layers.
+    pub fn total_macs(&self) -> u64 {
+        self.conv_layers().map(ConvShape::macs).sum()
+    }
+
+    /// Total weight words over all CONV layers.
+    pub fn total_weight_words(&self) -> u64 {
+        self.conv_layers().map(ConvShape::weight_words).sum()
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} layers, {} CONV):", self.name, self.layers.len(), self.conv_layers().count())?;
+        for layer in &self.layers {
+            match layer.as_conv() {
+                Some(c) => writeln!(f, "  {c}")?,
+                None => writeln!(f, "  {} (pool)", layer.name())?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ConvShape, PoolShape};
+
+    fn tiny() -> Network {
+        Network::new(
+            "tiny",
+            vec![
+                Layer::conv(ConvShape::new("c1", 3, 8, 8, 4, 3, 1, 1)),
+                Layer::pool(PoolShape::new("p1", 4, 8, 8, 2, 2)),
+                Layer::conv(ConvShape::new("c2", 4, 4, 4, 8, 3, 1, 1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let n = tiny();
+        assert!(n.layer("p1").is_some());
+        assert!(n.conv("p1").is_none());
+        assert_eq!(n.conv("c2").unwrap().out_ch, 8);
+        assert_eq!(n.conv_index("c2"), Some(1));
+        assert!(n.layer("nope").is_none());
+    }
+
+    #[test]
+    fn totals() {
+        let n = tiny();
+        assert_eq!(n.total_macs(), 4 * 8 * 8 * 3 * 9 + 8 * 4 * 4 * 4 * 9);
+        assert_eq!(n.total_weight_words(), 4 * 3 * 9 + 8 * 4 * 9);
+    }
+
+    #[test]
+    fn display_mentions_every_layer() {
+        let s = tiny().to_string();
+        for name in ["c1", "p1", "c2"] {
+            assert!(s.contains(name), "{s}");
+        }
+    }
+}

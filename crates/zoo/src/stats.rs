@@ -1,0 +1,142 @@
+//! Storage statistics over networks (Table I, Figure 12).
+
+use crate::layer::ConvShape;
+use crate::network::Network;
+
+/// Maximum per-layer storage of a network, in 16-bit words
+/// (the quantities of the paper's Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaxStorage {
+    /// Largest CONV-layer input `N·H·L`.
+    pub inputs: u64,
+    /// Largest CONV-layer output `M·R·C`.
+    pub outputs: u64,
+    /// Largest CONV-layer weights `M·N·K²`.
+    pub weights: u64,
+}
+
+impl MaxStorage {
+    /// Computes the maxima over a network's CONV layers.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rana_zoo::{alexnet, stats::MaxStorage};
+    /// let m = MaxStorage::of(&alexnet());
+    /// assert_eq!(m.inputs, 3 * 224 * 224);
+    /// ```
+    pub fn of(net: &Network) -> Self {
+        let mut m = MaxStorage::default();
+        for c in net.conv_layers() {
+            m.inputs = m.inputs.max(c.input_words());
+            m.outputs = m.outputs.max(c.output_words());
+            m.weights = m.weights.max(c.weight_words());
+        }
+        m
+    }
+
+    /// Inputs in decimal megabytes at 16-bit precision.
+    pub fn inputs_mb(&self) -> f64 {
+        words_to_mb(self.inputs)
+    }
+
+    /// Outputs in decimal megabytes at 16-bit precision.
+    pub fn outputs_mb(&self) -> f64 {
+        words_to_mb(self.outputs)
+    }
+
+    /// Weights in decimal megabytes at 16-bit precision.
+    pub fn weights_mb(&self) -> f64 {
+        words_to_mb(self.weights)
+    }
+}
+
+/// Per-layer storage of one CONV layer in 16-bit words (one bar group of
+/// Figure 12).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerStorage {
+    /// Layer name.
+    pub name: String,
+    /// Input words.
+    pub inputs: u64,
+    /// Output words.
+    pub outputs: u64,
+    /// Weight words.
+    pub weights: u64,
+}
+
+impl LayerStorage {
+    /// Storage of one layer.
+    pub fn of(c: &ConvShape) -> Self {
+        Self {
+            name: c.name.clone(),
+            inputs: c.input_words(),
+            outputs: c.output_words(),
+            weights: c.weight_words(),
+        }
+    }
+
+    /// Total words.
+    pub fn total(&self) -> u64 {
+        self.inputs + self.outputs + self.weights
+    }
+}
+
+/// Per-layer storage series for a whole network (Figure 12).
+pub fn layer_sizes(net: &Network) -> Vec<LayerStorage> {
+    net.conv_layers().map(LayerStorage::of).collect()
+}
+
+/// Converts 16-bit words to decimal megabytes.
+pub fn words_to_mb(words: u64) -> f64 {
+    words as f64 * 2.0 / 1e6
+}
+
+/// Converts 16-bit words to kilobytes (1024 bytes).
+pub fn words_to_kb(words: u64) -> f64 {
+    words as f64 * 2.0 / 1024.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{benchmarks, resnet50, vgg16};
+
+    #[test]
+    fn resnet_layer_sizes_shrink_then_weights_grow() {
+        // Figure 12's observation: inputs/outputs dominate shallow layers,
+        // weights dominate deep layers.
+        let sizes = layer_sizes(&resnet50());
+        let first = &sizes[0];
+        let last = &sizes[sizes.len() - 1];
+        assert!(first.inputs + first.outputs > first.weights * 10);
+        assert!(last.weights > last.inputs + last.outputs);
+    }
+
+    #[test]
+    fn vgg_has_layers_larger_than_edram_capacity() {
+        // §IV-C2: some VGG layers exceed the 1.454 MB eDRAM buffer even for
+        // a single data type.
+        let cap_words = (1.454e6 / 2.0) as u64;
+        let oversized = layer_sizes(&vgg16()).iter().filter(|l| l.outputs > cap_words).count();
+        assert!(oversized >= 2, "expected several oversized output layers, got {oversized}");
+    }
+
+    #[test]
+    fn max_storage_is_max_over_layers() {
+        for net in benchmarks() {
+            let m = MaxStorage::of(&net);
+            for c in net.conv_layers() {
+                assert!(c.input_words() <= m.inputs);
+                assert!(c.output_words() <= m.outputs);
+                assert!(c.weight_words() <= m.weights);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(words_to_mb(500_000), 1.0);
+        assert_eq!(words_to_kb(512), 1.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Applying RANA to your own accelerator: define a custom machine (a
+//! 32×32 PE array with a 4 MB eDRAM buffer and a different retention
+//! distribution), schedule a network on it, and compare controllers —
+//! the §V-C scalability exercise for an architecture of your choosing.
+//!
+//! Run with: `cargo run --release --example custom_accelerator`
+
+use rana_repro::accel::{
+    config::PeOrganization, AcceleratorConfig, BufferConfig, ControllerKind, Pattern,
+    RefreshModel,
+};
+use rana_repro::core::scheduler::Scheduler;
+use rana_repro::edram::{energy::BufferTech, RetentionDistribution};
+use rana_repro::zoo;
+
+fn main() {
+    // A hypothetical 1024-MAC edge accelerator with 4 MB of eDRAM.
+    let cfg = AcceleratorConfig {
+        name: "edge-1k".into(),
+        pe_rows: 32,
+        pe_cols: 32,
+        frequency_hz: 400e6,
+        local_input_words: 16 * 1024,
+        local_output_words: 4 * 1024,
+        local_weight_words: 16 * 1024,
+        organization: PeOrganization::PixelColumns,
+        buffer: BufferConfig { tech: BufferTech::Edram, num_banks: 128, bank_words: 16 * 1024 },
+    };
+    println!("{}: {} MACs @ {:.0} MHz, {:.2} MB eDRAM in {} banks", cfg.name, cfg.mac_count(),
+        cfg.frequency_hz / 1e6, cfg.buffer.capacity_mb(), cfg.buffer.num_banks);
+
+    // A denser process: the weakest cell holds 60 us, rate 1e-5 at 1 ms.
+    let dist = RetentionDistribution::from_anchors(vec![
+        (60.0, 2e-6),
+        (1000.0, 1e-5),
+        (8000.0, 1e-2),
+        (25_000.0, 1.0),
+    ])
+    .expect("valid anchors");
+    let tolerable = dist.tolerable_retention_us(1e-5);
+    println!("Custom retention curve: typical {:.0} us, tolerable {tolerable:.0} us at rate 1e-5\n", dist.typical_retention_us());
+
+    let net = zoo::googlenet();
+    for (label, refresh, patterns) in [
+        ("conventional @ typical RT", RefreshModel {
+            interval_us: dist.typical_retention_us(),
+            kind: ControllerKind::Conventional,
+        }, vec![Pattern::Od]),
+        ("RANA* @ tolerable RT", RefreshModel {
+            interval_us: tolerable,
+            kind: ControllerKind::RefreshOptimized,
+        }, Pattern::RANA_SPACE.to_vec()),
+    ] {
+        let mut scheduler = Scheduler::rana(cfg.clone(), refresh);
+        scheduler.patterns = patterns;
+        let schedule = scheduler.schedule_network(&net);
+        let e = schedule.total_energy();
+        println!(
+            "{label:<28} total {:>8.3} mJ (refresh {:>8.4} mJ, off-chip {:>7.3} mJ, {:.2} ms)",
+            e.total_j() * 1e3,
+            e.refresh_j * 1e3,
+            e.offchip_j * 1e3,
+            schedule.total_time_us() / 1e3
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Quickstart: evaluate a CNN on the paper's platform under all six
+//! Table IV designs and print the normalized energy comparison.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rana_repro::core::report::{breakdown_header, breakdown_row};
+use rana_repro::core::{designs::Design, evaluate::Evaluator};
+use rana_repro::zoo;
+
+fn main() {
+    // The evaluation platform of §III-A: 256 PEs @ 200 MHz with either
+    // 384 KB SRAM or 1.454 MB eDRAM buffers in the same die area.
+    let eval = Evaluator::paper_platform();
+    let net = zoo::resnet50();
+
+    println!("{net}");
+    let baseline = eval.evaluate(&net, Design::SId);
+    let base_j = baseline.total.total_j();
+    println!("Total system energy, normalized to the SRAM baseline:");
+    println!("{}", breakdown_header("x S+ID"));
+    for design in Design::ALL {
+        let result = eval.evaluate(&net, design);
+        println!("{}", breakdown_row(design.label(), &result.total.normalized_to(base_j)));
+    }
+
+    let rana = eval.evaluate(&net, Design::RanaStarE5);
+    println!(
+        "\nRANA*(E-5) on ResNet: {:.1}% less off-chip access and {:.1}% less total energy than S+ID,",
+        (1.0 - rana.dram_words as f64 / baseline.dram_words as f64) * 100.0,
+        (1.0 - rana.total.total_j() / base_j) * 100.0,
+    );
+    let edid = eval.evaluate(&net, Design::EdId);
+    println!(
+        "with {:.2}% of the conventional eDRAM design's refresh operations.",
+        rana.refresh_words as f64 / edid.refresh_words as f64 * 100.0
+    );
+}

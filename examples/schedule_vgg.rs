@@ -1,0 +1,53 @@
+//! Stage 2 + Stage 3 walkthrough: run RANA's hybrid-pattern scheduler on
+//! VGG-16, inspect the per-layer choices, and generate the layerwise
+//! configurations (pattern, bank allocation, refresh flags, clock divider)
+//! the refresh-optimized eDRAM controller executes.
+//!
+//! Run with: `cargo run --release --example schedule_vgg`
+
+use rana_repro::accel::{AcceleratorConfig, ControllerKind, RefreshModel};
+use rana_repro::core::config_gen::LayerwiseConfig;
+use rana_repro::core::scheduler::Scheduler;
+use rana_repro::zoo;
+
+fn main() {
+    let cfg = AcceleratorConfig::paper_edram();
+    // Stage 1's output: tolerable retention time 734 us at failure rate
+    // 1e-5 (see the retention_training example for how it is obtained).
+    let refresh = RefreshModel { interval_us: 734.0, kind: ControllerKind::RefreshOptimized };
+    let scheduler = Scheduler::rana(cfg.clone(), refresh);
+
+    let net = zoo::vgg16();
+    let schedule = scheduler.schedule_network(&net);
+
+    println!("Hybrid computation pattern for {}:", net.name());
+    println!(
+        "{:<10} {:>4} {:<22} {:>10} {:>12} {:>10}",
+        "layer", "pat", "tiling", "time (us)", "LTo-rw (us)", "refresh?"
+    );
+    for l in &schedule.layers {
+        println!(
+            "{:<10} {:>4} {:<22} {:>10.0} {:>12.1} {:>10}",
+            l.sim.layer,
+            l.sim.pattern.to_string(),
+            l.sim.tiling.to_string(),
+            l.sim.time_us,
+            l.sim.lifetimes.output_rewrite_us,
+            if l.refresh_words > 0 { "yes" } else { "no" }
+        );
+    }
+    let (id, od, wd) = schedule.pattern_histogram();
+    println!("\nPattern mix: {id} ID, {od} OD, {wd} WD layers (the hybrid pattern of §IV-C).");
+
+    // Stage 3: compile into the controller's layerwise configurations.
+    let lw = LayerwiseConfig::generate(&schedule, &cfg, &refresh);
+    println!(
+        "Layerwise configuration: retention pulse every {:.0} us (clock divider 1:{}), \
+         {:.1}% of bank refresh flags disabled.",
+        lw.tolerable_retention_us,
+        lw.clock_divider,
+        lw.disabled_flag_fraction() * 100.0
+    );
+    let first = &lw.layers[0];
+    println!("First layer {}: pattern {} flags {:?}", first.layer, first.pattern, &first.refresh_flags[..12]);
+}

@@ -1,0 +1,37 @@
+//! # rana-repro — umbrella crate
+//!
+//! Reproduction of **RANA: Towards Efficient Neural Acceleration with
+//! Refresh-Optimized Embedded DRAM** (Tu et al., ISCA 2018).
+//!
+//! This crate re-exports the workspace members so examples and integration
+//! tests can use a single dependency. Each sub-crate is also usable on its
+//! own:
+//!
+//! * [`fixq`] — fixed-point numerics and bit-level retention-error injection.
+//! * [`zoo`] — CONV-layer descriptions of AlexNet / VGG-16 / GoogLeNet /
+//!   ResNet-50.
+//! * [`edram`] — eDRAM retention model, banked buffers, refresh controllers.
+//! * [`accel`] — cycle-level CNN accelerator simulator (ID/OD/WD patterns).
+//! * [`nn`] — fixed-point CNN training substrate with retention-fault
+//!   injection (the retention-aware training method).
+//! * [`core`] — the RANA framework: energy model, hybrid-pattern scheduler,
+//!   refresh-flag generation, design points and the evaluation platform.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rana_repro::core::{designs::Design, evaluate::Evaluator};
+//! use rana_repro::zoo;
+//!
+//! let net = zoo::alexnet();
+//! let eval = Evaluator::paper_platform();
+//! let energy = eval.evaluate(&net, Design::RanaStarE5);
+//! assert!(energy.total.total_j() > 0.0);
+//! ```
+
+pub use rana_accel as accel;
+pub use rana_core as core;
+pub use rana_edram as edram;
+pub use rana_fixq as fixq;
+pub use rana_nn as nn;
+pub use rana_zoo as zoo;

@@ -1,0 +1,103 @@
+//! Property-based cross-validation: the closed-form analysis and the
+//! tile-trace simulator must agree on cycles and traffic for arbitrary
+//! layers and tilings, on both buffer sizes and both PE organizations.
+
+use proptest::prelude::*;
+use rana_repro::accel::{analyze, trace::trace, AcceleratorConfig, Pattern, SchedLayer, Tiling};
+
+fn arb_layer() -> impl Strategy<Value = SchedLayer> {
+    (1usize..=48, 4usize..=30, 1usize..=48, prop_oneof![Just(1usize), Just(3), Just(5)], 1usize..=2)
+        .prop_map(|(n, hw, m, k, s)| SchedLayer {
+            name: "prop".into(),
+            n,
+            h: hw,
+            l: hw,
+            m,
+            k,
+            s,
+            r: (hw + 2 * (k / 2) - k) / s + 1,
+            c: (hw + 2 * (k / 2) - k) / s + 1,
+            pad: k / 2,
+            groups: 1,
+        })
+}
+
+fn arb_tiling() -> impl Strategy<Value = Tiling> {
+    (1usize..=24, 1usize..=24, 1usize..=8, 1usize..=16).prop_map(|(tm, tn, tr, tc)| Tiling::new(tm, tn, tr, tc))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn analysis_matches_trace(layer in arb_layer(), tiling in arb_tiling(), edram in any::<bool>(), dadiannao_org in any::<bool>()) {
+        let mut cfg = if edram { AcceleratorConfig::paper_edram() } else { AcceleratorConfig::paper_sram() };
+        if dadiannao_org {
+            cfg.organization = rana_repro::accel::config::PeOrganization::ChannelColumns;
+        }
+        for pattern in Pattern::ALL {
+            let a = analyze(&layer, pattern, tiling, &cfg);
+            let t = trace(&layer, pattern, tiling, &cfg);
+            prop_assert_eq!(a.cycles, t.cycles, "cycles {} {}", pattern, tiling);
+            prop_assert_eq!(a.traffic, t.traffic, "traffic {} {}", pattern, tiling);
+            prop_assert!((a.lifetimes.layer_us - t.measured.layer_us).abs() < 1e-6);
+        }
+    }
+
+    /// MAC count is invariant across patterns and tilings, and utilization
+    /// never exceeds 1.
+    #[test]
+    fn macs_invariant_and_utilization_bounded(layer in arb_layer(), tiling in arb_tiling()) {
+        let cfg = AcceleratorConfig::paper_edram();
+        let reference = analyze(&layer, Pattern::Od, Tiling::new(16, 16, 1, 16), &cfg).macs;
+        for pattern in Pattern::ALL {
+            let sim = analyze(&layer, pattern, tiling, &cfg);
+            prop_assert_eq!(sim.macs, reference);
+            prop_assert!(sim.utilization <= 1.0 + 1e-9, "eta {}", sim.utilization);
+            prop_assert!(sim.utilization > 0.0);
+        }
+    }
+
+    /// Every datum moves through DRAM at least once: traffic lower bounds.
+    /// (For strided layers WD legitimately skips input pixels the kernel
+    /// never touches, so the input bound drops to the touched set.)
+    #[test]
+    fn dram_traffic_lower_bounds(layer in arb_layer(), tiling in arb_tiling()) {
+        let cfg = AcceleratorConfig::paper_edram();
+        let min_inputs = if layer.s == 1 {
+            layer.input_words()
+        } else {
+            (layer.n * layer.r * layer.c) as u64 // touched at least once per output
+        };
+        for pattern in Pattern::ALL {
+            let sim = analyze(&layer, pattern, tiling, &cfg);
+            prop_assert!(sim.traffic.dram_input_loads >= min_inputs);
+            prop_assert!(sim.traffic.dram_weight_loads >= layer.weight_words());
+            prop_assert!(sim.traffic.dram_output_stores >= layer.output_words());
+        }
+    }
+
+    /// The paper's §IV-C3 exclusion argument holds universally: ID's input
+    /// lifetime is never shorter than OD's under the same tiling.
+    #[test]
+    fn id_lifetime_dominates_od(layer in arb_layer(), tiling in arb_tiling()) {
+        let cfg = AcceleratorConfig::paper_edram();
+        let id = analyze(&layer, Pattern::Id, tiling, &cfg);
+        let od = analyze(&layer, Pattern::Od, tiling, &cfg);
+        prop_assert!(id.lifetimes.input_us >= od.lifetimes.input_us - 1e-9);
+    }
+
+    /// Buffer storage formulas: OD is dominated by outputs, WD by weights
+    /// (whenever those sets are the largest of the three, which is what
+    /// "dominant" means).
+    #[test]
+    fn storage_formulas(layer in arb_layer(), tiling in arb_tiling()) {
+        let cfg = AcceleratorConfig::paper_edram();
+        let od = analyze(&layer, Pattern::Od, tiling, &cfg);
+        prop_assert_eq!(od.storage.output_words, layer.output_words());
+        let wd = analyze(&layer, Pattern::Wd, tiling, &cfg);
+        prop_assert_eq!(wd.storage.weight_words, layer.weight_words());
+        let id = analyze(&layer, Pattern::Id, tiling, &cfg);
+        prop_assert_eq!(id.storage.input_words, layer.input_words());
+    }
+}

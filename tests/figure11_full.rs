@@ -1,0 +1,45 @@
+//! The full Figure 11 run: retention-aware training of all four mini
+//! benchmark models over the paper's five failure rates, asserting the
+//! figure's shape. Takes a few minutes of CPU — ignored by default:
+//!
+//! ```console
+//! cargo test --release --test figure11_full -- --ignored
+//! ```
+
+use rana_repro::nn::data::SyntheticDataset;
+use rana_repro::nn::models::mini_benchmarks;
+use rana_repro::nn::retention::{RetentionAwareTrainer, PAPER_RATES};
+
+#[test]
+#[ignore = "minutes of CPU; run with --ignored"]
+fn figure11_shape_holds_for_all_four_families() {
+    let data = SyntheticDataset::new(4, 400, 0xF16);
+    let trainer = RetentionAwareTrainer::default();
+    for (name, make) in mini_benchmarks() {
+        let curve = trainer.run(name, make, &data, &PAPER_RATES);
+        assert!(curve.baseline > 0.6, "{name}: baseline {}", curve.baseline);
+        let rel = curve.relative_with_retrain();
+
+        // The paper's headline: no accuracy loss at 1e-5.
+        assert!(rel[0] > 0.95, "{name}: relative accuracy at 1e-5 is {}", rel[0]);
+        // Degradation by 1e-1 (the curve does fall).
+        assert!(
+            rel[4] < rel[0] + 1e-9,
+            "{name}: rate 1e-1 ({}) should not beat 1e-5 ({})",
+            rel[4],
+            rel[0]
+        );
+        // Retraining helps (or at least never hurts) at the highest rate.
+        let ablation = curve.without_retrain[4] / curve.baseline;
+        assert!(
+            rel[4] >= ablation - 0.1,
+            "{name}: retrained {} vs non-retrained {}",
+            rel[4],
+            ablation
+        );
+        // And the tolerable-rate machinery lands on a usable operating
+        // point under a 95% constraint.
+        let rate = curve.highest_tolerable_rate(0.95).expect("some rate passes");
+        assert!(rate >= 1e-5, "{name}: tolerable rate {rate}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Generality checks: RANA applied beyond the paper's four benchmarks —
+//! MobileNet-V1 (depthwise-separable), higher-resolution inputs, and the
+//! scheduler on a non-paper accelerator geometry.
+
+use rana_repro::accel::config::PeOrganization;
+use rana_repro::accel::{AcceleratorConfig, BufferConfig, ControllerKind, Pattern, RefreshModel};
+use rana_repro::core::scheduler::Scheduler;
+use rana_repro::core::{designs::Design, evaluate::Evaluator};
+use rana_repro::edram::energy::BufferTech;
+use rana_repro::zoo;
+
+#[test]
+fn rana_schedules_mobilenet() {
+    let eval = Evaluator::paper_platform();
+    let net = zoo::mobilenet_v1();
+    let base = eval.evaluate(&net, Design::EdId);
+    let star = eval.evaluate(&net, Design::RanaStarE5);
+    assert_eq!(star.schedule.layers.len(), 27);
+    // Depthwise layers schedule like any grouped conv; RANA still beats
+    // the conventional eDRAM design.
+    assert!(star.total.total_j() < base.total.total_j());
+    assert!(star.refresh_words < base.refresh_words / 10);
+    let (id, od, wd) = star.schedule.pattern_histogram();
+    assert_eq!(id, 0);
+    assert_eq!(od + wd, 27);
+}
+
+#[test]
+fn high_resolution_keeps_the_ordering() {
+    // 448x448 quadruples activation footprints (paper Table I remark);
+    // every design relation must survive.
+    let eval = Evaluator::paper_platform();
+    let net = zoo::resnet50_with_input(448);
+    let sram = eval.evaluate(&net, Design::SId);
+    let edid = eval.evaluate(&net, Design::EdId);
+    let star = eval.evaluate(&net, Design::RanaStarE5);
+    assert!(star.total.total_j() < edid.total.total_j());
+    assert!(star.total.total_j() < sram.total.total_j());
+    assert!(star.dram_words < sram.dram_words);
+}
+
+#[test]
+fn scheduler_on_custom_geometry() {
+    // A 32x32 array with 8 MB of eDRAM; nothing in the framework is
+    // hard-wired to the paper platform.
+    let cfg = AcceleratorConfig {
+        name: "custom-32x32".into(),
+        pe_rows: 32,
+        pe_cols: 32,
+        frequency_hz: 500e6,
+        local_input_words: 32 * 1024,
+        local_output_words: 8 * 1024,
+        local_weight_words: 32 * 1024,
+        organization: PeOrganization::PixelColumns,
+        buffer: BufferConfig { tech: BufferTech::Edram, num_banks: 256, bank_words: 16 * 1024 },
+    };
+    let refresh = RefreshModel { interval_us: 734.0, kind: ControllerKind::RefreshOptimized };
+    let schedule = Scheduler::rana(cfg, refresh).schedule_network(&zoo::googlenet());
+    assert_eq!(schedule.layers.len(), 57);
+    let e = schedule.total_energy();
+    assert!(e.total_j() > 0.0);
+    assert!(e.refresh_j < 0.1 * e.total_j(), "RANA should stay near refresh-free");
+    // Utilization stays sane on the wider array.
+    for l in &schedule.layers {
+        assert!(l.sim.utilization > 0.05, "{}: eta {}", l.sim.layer, l.sim.utilization);
+    }
+}
+
+#[test]
+fn channel_parallel_organization_schedules_every_benchmark() {
+    // The DaDianNao-style organization end to end on all benchmarks.
+    let eval = Evaluator::dadiannao_platform();
+    for net in zoo::benchmarks() {
+        let base = eval.evaluate_dadiannao_baseline(&net);
+        let star = eval.evaluate(&net, Design::RanaStarE5);
+        assert!(
+            star.total.total_j() < base.total.total_j(),
+            "{}: RANA* must beat the WD baseline",
+            net.name()
+        );
+        // Fixed tiling everywhere.
+        for l in &star.schedule.layers {
+            assert_eq!((l.sim.tiling.tr, l.sim.tiling.tc), (1, 1));
+        }
+    }
+}
+
+#[test]
+fn fc_layers_schedule_as_weight_dominant() {
+    // §II-A: "Other layers can be transformed to execute in a similar way
+    // with the CONV layer acceleration." FC layers are all-weights: RANA's
+    // scheduler should put them on WD (all weights resident when they fit)
+    // or handle the overflow gracefully when they don't.
+    let eval = Evaluator::paper_platform();
+    let net = zoo::alexnet_with_fc();
+    let star = eval.evaluate(&net, Design::RanaStarE5);
+    assert_eq!(star.schedule.layers.len(), 8);
+    let fc6 = star.schedule.layers.iter().find(|l| l.sim.layer == "fc6").unwrap();
+    // fc6 weights = 37.7M words: cannot fit 0.72M, so either pattern pays
+    // off-chip; the schedule must still be produced and costed.
+    assert!(fc6.energy.total_j() > 0.0);
+    // FC output lifetime is tiny (M·1·1 outputs): no refresh at 734 µs.
+    assert_eq!(fc6.refresh_words, 0);
+    // The conv part of the schedule is unchanged by appending FC layers.
+    let conv_only = eval.evaluate(&zoo::alexnet(), Design::RanaStarE5);
+    for (a, b) in conv_only.schedule.layers.iter().zip(&star.schedule.layers) {
+        assert_eq!(a.sim.pattern, b.sim.pattern, "{}", a.sim.layer);
+    }
+}
+
+#[test]
+fn mobilenet_compiles_with_the_cli_entrypoints() {
+    // Exercise the same path rana-compile uses.
+    use rana_repro::core::config_gen::LayerwiseConfig;
+    let eval = Evaluator::paper_platform();
+    let net = zoo::mobilenet_v1();
+    let design = Design::RanaStarE5;
+    let result = eval.evaluate(&net, design);
+    let refresh = design.refresh_model(eval.retention());
+    let lw = LayerwiseConfig::generate(&result.schedule, eval.edram_config(), &refresh);
+    assert_eq!(lw.layers.len(), 27);
+    let json = serde_json::to_string(&lw).expect("serializes");
+    assert!(json.contains("conv14_pw"));
+}

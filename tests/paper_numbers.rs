@@ -1,0 +1,133 @@
+//! Reproduction checks: the paper's concrete numbers, asserted with
+//! tolerances (EXPERIMENTS.md records the exact measured values).
+
+use rana_repro::accel::{analyze, AcceleratorConfig, ControllerKind, Pattern, RefreshModel, SchedLayer, Tiling};
+use rana_repro::core::{designs::Design, evaluate::Evaluator};
+use rana_repro::edram::RetentionDistribution;
+use rana_repro::zoo;
+
+fn layer_a() -> SchedLayer {
+    SchedLayer::from_conv(zoo::resnet50().conv("res4a_branch1").unwrap())
+}
+
+fn layer_b() -> SchedLayer {
+    SchedLayer::from_conv(zoo::vgg16().conv("conv4_2").unwrap())
+}
+
+#[test]
+fn section3_lifetime_measurements() {
+    // §III-B2: Layer-A under ID: LTo < LTw < LTi = 2294 us.
+    let cfg = AcceleratorConfig::paper_edram();
+    let sim = analyze(&layer_a(), Pattern::Id, Tiling::new(16, 16, 1, 16), &cfg);
+    assert!((sim.lifetimes.input_us - 2294.0).abs() < 1.0);
+    // §IV-C1: Layer-A under OD: 72 us.
+    let sim = analyze(&layer_a(), Pattern::Od, Tiling::new(16, 16, 1, 16), &cfg);
+    assert!((sim.lifetimes.output_rewrite_us - 72.0).abs() < 1.0);
+    // §IV-C1: Layer-B 1290 us at Tn=16, 645 us at Tn=8.
+    let sim16 = analyze(&layer_b(), Pattern::Od, Tiling::new(16, 16, 1, 16), &cfg);
+    assert!((sim16.lifetimes.output_rewrite_us - 1290.0).abs() < 2.0);
+    let sim8 = analyze(&layer_b(), Pattern::Od, Tiling::new(16, 8, 1, 16), &cfg);
+    assert!((sim8.lifetimes.output_rewrite_us - 645.0).abs() < 2.0);
+    // §IV-D2: Layer-B weights live 40 us at Tn=16.
+    assert!((sim16.lifetimes.weight_us - 40.0).abs() < 1.0);
+}
+
+#[test]
+fn figure7_three_layers_below_tolerable_retention() {
+    // §IV-B: "only three layers' data lifetime is shorter than 734 us".
+    let cfg = AcceleratorConfig::paper_edram();
+    let natural = Tiling::new(16, 16, 1, 16);
+    let below: usize = zoo::resnet50()
+        .conv_layers()
+        .filter(|conv| {
+            analyze(&SchedLayer::from_conv(conv), Pattern::Id, natural, &cfg).lifetimes.input_us < 734.0
+        })
+        .count();
+    assert_eq!(below, 3);
+    // And none below the typical 45 us.
+    let below45: usize = zoo::resnet50()
+        .conv_layers()
+        .filter(|conv| {
+            analyze(&SchedLayer::from_conv(conv), Pattern::Id, natural, &cfg).lifetimes.input_us < 45.0
+        })
+        .count();
+    assert_eq!(below45, 0);
+}
+
+#[test]
+fn table4_retention_parameters() {
+    let dist = RetentionDistribution::kong2008();
+    assert_eq!(Design::Rana0.refresh_model(&dist).interval_us, 45.0);
+    let m = Design::RanaStarE5.refresh_model(&dist);
+    assert!((m.interval_us - 734.0).abs() < 1.0);
+    assert_eq!(m.kind, ControllerKind::RefreshOptimized);
+}
+
+#[test]
+fn figure16_interval_doubling() {
+    // §V-B2: 90 -> 180 us drops eD+ID refresh by exactly the interval
+    // ratio (50%), and eD+OD by much more (80.1% in the paper) because
+    // whole layers cross the "lifetime < retention time" condition.
+    let eval = Evaluator::paper_platform();
+    let net = zoo::resnet50();
+    let refresh = |rt| RefreshModel { interval_us: rt, kind: ControllerKind::Conventional };
+    let id_90 = eval.evaluate_with_refresh(&net, Design::EdId, refresh(90.0)).total.refresh_j;
+    let id_180 = eval.evaluate_with_refresh(&net, Design::EdId, refresh(180.0)).total.refresh_j;
+    let drop_id = 1.0 - id_180 / id_90;
+    assert!((drop_id - 0.5).abs() < 0.02, "eD+ID drop {drop_id}");
+
+    let od_90 = eval.evaluate_with_refresh(&net, Design::EdOd, refresh(90.0)).total.refresh_j;
+    let od_180 = eval.evaluate_with_refresh(&net, Design::EdOd, refresh(180.0)).total.refresh_j;
+    let drop_od = 1.0 - od_180 / od_90;
+    assert!(drop_od > 0.65, "eD+OD drop {drop_od} should be far beyond 50%");
+}
+
+#[test]
+fn figure19_dadiannao_claims() {
+    let eval = Evaluator::dadiannao_platform();
+    let mut base_buffer = 0.0;
+    let mut rana0_buffer = 0.0;
+    let mut base_total = 0.0;
+    let mut star_total = 0.0;
+    let mut base_refresh = 0u64;
+    let mut star_refresh = 0u64;
+    let mut base_dram = 0u64;
+    let mut star_dram = 0u64;
+    for net in zoo::benchmarks() {
+        let base = eval.evaluate_dadiannao_baseline(&net);
+        let rana0 = eval.evaluate(&net, Design::Rana0);
+        let star = eval.evaluate(&net, Design::RanaStarE5);
+        base_buffer += base.total.buffer_j;
+        rana0_buffer += rana0.total.buffer_j;
+        base_total += base.total.total_j();
+        star_total += star.total.total_j();
+        base_refresh += base.refresh_words;
+        star_refresh += star.refresh_words;
+        base_dram += base.dram_words;
+        star_dram += star.dram_words;
+    }
+    // §V-C: -97.2% buffer access energy, -99.9% refresh, -69.4% system
+    // energy, no off-chip change.
+    assert!(rana0_buffer < 0.08 * base_buffer, "buffer {rana0_buffer} vs {base_buffer}");
+    assert!(star_refresh < base_refresh / 100);
+    assert!(star_total < 0.45 * base_total, "total {star_total} vs {base_total}");
+    let dram_change = (star_dram as f64 - base_dram as f64).abs() / base_dram as f64;
+    assert!(dram_change < 0.25, "off-chip access should not change much: {dram_change}");
+}
+
+#[test]
+fn table1_within_five_percent() {
+    let paper = [
+        ("AlexNet", 0.30, 0.57, 1.73),
+        ("VGG", 6.27, 6.27, 4.61),
+        ("GoogLeNet", 0.39, 1.57, 1.30),
+        ("ResNet", 1.57, 1.57, 4.61),
+    ];
+    for (net, (name, i, o, w)) in zoo::benchmarks().iter().zip(paper) {
+        assert_eq!(net.name(), name);
+        let m = rana_repro::zoo::stats::MaxStorage::of(net);
+        for (ours, theirs) in [(m.inputs_mb(), i), (m.outputs_mb(), o), (m.weights_mb(), w)] {
+            assert!((ours - theirs).abs() / theirs < 0.06, "{name}: {ours} vs {theirs}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the refresh accounting (the γ model behind
+//! every energy figure).
+
+use proptest::prelude::*;
+use rana_repro::accel::refresh::layer_refresh_words;
+use rana_repro::accel::{analyze, AcceleratorConfig, ControllerKind, Pattern, RefreshModel, SchedLayer, Tiling};
+
+fn arb_layer() -> impl Strategy<Value = SchedLayer> {
+    (1usize..=64, 6usize..=28, 1usize..=64, prop_oneof![Just(1usize), Just(3)], 1usize..=2)
+        .prop_map(|(n, hw, m, k, s)| SchedLayer {
+            name: "p".into(),
+            n,
+            h: hw,
+            l: hw,
+            m,
+            k,
+            s,
+            r: (hw + 2 * (k / 2) - k) / s + 1,
+            c: (hw + 2 * (k / 2) - k) / s + 1,
+            pad: k / 2,
+            groups: 1,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The optimized controller never refreshes more than the conventional
+    /// one — per layer, for any interval.
+    #[test]
+    fn optimized_never_exceeds_conventional(
+        layer in arb_layer(),
+        interval in 20.0f64..4000.0,
+        pattern_idx in 0usize..3,
+    ) {
+        let cfg = AcceleratorConfig::paper_edram();
+        let sim = analyze(&layer, Pattern::ALL[pattern_idx], Tiling::new(16, 16, 1, 16), &cfg);
+        let conv = layer_refresh_words(&sim, &cfg, &RefreshModel { interval_us: interval, kind: ControllerKind::Conventional });
+        let opt = layer_refresh_words(&sim, &cfg, &RefreshModel { interval_us: interval, kind: ControllerKind::RefreshOptimized });
+        prop_assert!(opt <= conv, "opt {opt} > conv {conv}");
+    }
+
+    /// Refresh words are monotone non-increasing in the interval.
+    #[test]
+    fn refresh_monotone_in_interval(layer in arb_layer(), pattern_idx in 0usize..3) {
+        let cfg = AcceleratorConfig::paper_edram();
+        let sim = analyze(&layer, Pattern::ALL[pattern_idx], Tiling::new(16, 16, 1, 16), &cfg);
+        let mut prev = u64::MAX;
+        for interval in [30.0, 45.0, 90.0, 180.0, 360.0, 734.0, 1440.0, 5000.0] {
+            for kind in [ControllerKind::Conventional, ControllerKind::RefreshOptimized] {
+                let w = layer_refresh_words(&sim, &cfg, &RefreshModel { interval_us: interval, kind });
+                if kind == ControllerKind::Conventional {
+                    prop_assert!(w <= prev, "interval {interval}: {w} > {prev}");
+                    prev = w;
+                }
+            }
+        }
+    }
+
+    /// An interval beyond every lifetime means zero refresh for both
+    /// controllers (the "Data Lifetime < Retention Time" condition).
+    #[test]
+    fn long_interval_removes_all_refresh(layer in arb_layer(), pattern_idx in 0usize..3) {
+        let cfg = AcceleratorConfig::paper_edram();
+        let sim = analyze(&layer, Pattern::ALL[pattern_idx], Tiling::new(16, 16, 1, 16), &cfg);
+        let beyond = sim.lifetimes.critical_intervals().iter().fold(0.0f64, |a, &b| a.max(b)) + 1.0;
+        for kind in [ControllerKind::Conventional, ControllerKind::RefreshOptimized] {
+            let w = layer_refresh_words(&sim, &cfg, &RefreshModel { interval_us: beyond, kind });
+            prop_assert_eq!(w, 0, "{:?}", kind);
+        }
+    }
+
+    /// Conventional refresh scales linearly with capacity whenever any
+    /// data type is needy (the Figure 18(a) effect).
+    #[test]
+    fn conventional_scales_with_capacity(layer in arb_layer(), pattern_idx in 0usize..3) {
+        let cfg1 = AcceleratorConfig::paper_edram();
+        let cfg2 = AcceleratorConfig::paper_edram_scaled(2.0);
+        let model = RefreshModel::conventional_45us();
+        let sim1 = analyze(&layer, Pattern::ALL[pattern_idx], Tiling::new(16, 16, 1, 16), &cfg1);
+        let sim2 = analyze(&layer, Pattern::ALL[pattern_idx], Tiling::new(16, 16, 1, 16), &cfg2);
+        let w1 = layer_refresh_words(&sim1, &cfg1, &model);
+        let w2 = layer_refresh_words(&sim2, &cfg2, &model);
+        // Same layer and tiling: if either refreshes, both do (lifetimes
+        // can only lengthen when capacity removes spills), and the bigger
+        // buffer refreshes at least as much.
+        if w1 > 0 && sim1.time_us == sim2.time_us {
+            prop_assert!(w2 >= w1, "2x capacity: {w2} < {w1}");
+        }
+    }
+
+    /// SRAM never refreshes.
+    #[test]
+    fn sram_is_refresh_free(layer in arb_layer(), pattern_idx in 0usize..3, interval in 20.0f64..2000.0) {
+        let cfg = AcceleratorConfig::paper_sram();
+        let sim = analyze(&layer, Pattern::ALL[pattern_idx], Tiling::new(16, 16, 1, 16), &cfg);
+        let w = layer_refresh_words(&sim, &cfg, &RefreshModel { interval_us: interval, kind: ControllerKind::Conventional });
+        prop_assert_eq!(w, 0);
+    }
+}
