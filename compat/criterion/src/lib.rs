@@ -1,0 +1,178 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate supplies
+//! the subset of the criterion API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size`/`finish`, `b.iter(..)`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark is
+//! timed with `std::time::Instant` — warmed up briefly, then sampled —
+//! and reported as a plain `name  median  (min .. max)` line. There is
+//! no statistical analysis, HTML report, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+/// Warm-up time per benchmark.
+const WARMUP: Duration = Duration::from_millis(60);
+
+/// Times one closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration wall time.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm-up, and calibration of iterations per sample.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < WARMUP {
+            black_box(f());
+            iters += 1;
+        }
+        let per_iter = WARMUP.as_secs_f64() / iters.max(1) as f64;
+        let samples = self.sample_size.max(10);
+        let per_sample = TARGET.as_secs_f64() / samples as f64;
+        let iters_per_sample = (per_sample / per_iter).max(1.0) as u64;
+
+        self.samples_ns.clear();
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        let mut s = self.samples_ns.clone();
+        if s.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        s.sort_by(|a, b| a.total_cmp(b));
+        let median = s[s.len() / 2];
+        println!(
+            "{name:<40} {:>12}  ({} .. {})",
+            fmt_ns(median),
+            fmt_ns(s[0]),
+            fmt_ns(s[s.len() - 1])
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { sample_size: self.sample_size, ..Bencher::default() };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group (a prefix plus per-group sample size).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { prefix: name.to_string(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark under the group prefix.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { sample_size: self.sample_size, ..Bencher::default() };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.prefix, name));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` (harness = false still builds a runnable
+            // target) skip the timing loops so test runs stay fast.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(1.2e4), "12.000 us");
+        assert_eq!(fmt_ns(2.5e6), "2.500 ms");
+        assert_eq!(fmt_ns(3.0e9), "3.000 s");
+    }
+}

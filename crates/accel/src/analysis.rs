@@ -19,11 +19,10 @@
 use crate::config::AcceleratorConfig;
 use crate::layer::SchedLayer;
 use crate::pattern::{Pattern, Tiling};
-use serde::{Deserialize, Serialize};
 
 /// Resident buffer-storage requirement per data type, in 16-bit words
 /// (per channel group).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Storage {
     /// `BSi` — input words that must stay on chip.
     pub input_words: u64,
@@ -41,7 +40,7 @@ impl Storage {
 }
 
 /// Data lifetimes in the on-chip buffer, in µs.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Lifetimes {
     /// Residency of input data (`LTi`).
     pub input_us: f64,
@@ -69,7 +68,7 @@ impl Lifetimes {
 }
 
 /// Word-traffic counts (totals over all channel groups).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Traffic {
     /// DRAM → buffer input loads.
     pub dram_input_loads: u64,
@@ -114,7 +113,7 @@ impl Traffic {
 }
 
 /// Result of analyzing one layer under one `(pattern, tiling)` choice.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerSim {
     /// Layer name.
     pub layer: String,
@@ -152,14 +151,16 @@ fn ceil_div(a: usize, b: usize) -> u64 {
     a.div_ceil(b) as u64
 }
 
-/// Analyzes `layer` under `pattern` with `tiling` on `cfg`.
-///
-/// The tiling is clamped to the layer's dimensions; it is the caller's
-/// responsibility to pass a tiling satisfying
-/// [`Tiling::fits_core`] — the analysis itself only checks the *buffer*
-/// capacity (overflow switches on the pattern's reload/spill traffic, it
-/// does not make the configuration invalid).
-pub fn analyze(layer: &SchedLayer, pattern: Pattern, tiling: Tiling, cfg: &AcceleratorConfig) -> LayerSim {
+/// Storage requirement, buffer fit, and word traffic of one candidate:
+/// the closed-form core of [`analyze`], exposed separately so the
+/// scheduler's pruning bound can price a candidate without paying for
+/// the name/cycle/lifetime bookkeeping of the full analysis.
+pub fn storage_and_traffic(
+    layer: &SchedLayer,
+    pattern: Pattern,
+    tiling: Tiling,
+    cfg: &AcceleratorConfig,
+) -> (Storage, bool, Traffic) {
     let t = tiling.clamped_to(layer);
     let g = layer.groups as u64;
     let (tm_trips, tn_trips, tr_trips, tc_trips) = t.trips(layer);
@@ -167,41 +168,6 @@ pub fn analyze(layer: &SchedLayer, pattern: Pattern, tiling: Tiling, cfg: &Accel
     let num_rc_tiles = (tr_trips * tc_trips) as u64;
     let k2 = (layer.k * layer.k) as u64;
 
-    // --- cycles ---------------------------------------------------------
-    // The PE rows always parallelize output channels; the columns
-    // parallelize output pixels (test accelerator) or input channels
-    // (DaDianNao). Per-loop "work sums" account for ceiling waste on edge
-    // tiles; cycles = K² × Sm × Sn × Src.
-    use crate::config::PeOrganization;
-    let sm = tile_sum(layer.m, t.tm, |tme| ceil_div(tme, cfg.pe_rows));
-    let sm_full = ceil_div(t.tm.min(layer.m), cfg.pe_rows);
-    let (sn, sn_full, src, src_full) = match cfg.organization {
-        PeOrganization::PixelColumns => (
-            layer.n as u64,
-            t.tn.min(layer.n) as u64,
-            tile_sum(layer.r, t.tr, |tre| {
-                tile_sum(layer.c, t.tc, |tce| ceil_div(tre * tce, cfg.pe_cols))
-            }),
-            ceil_div(t.tr.min(layer.r) * t.tc.min(layer.c), cfg.pe_cols),
-        ),
-        PeOrganization::ChannelColumns => (
-            tile_sum(layer.n, t.tn, |tne| ceil_div(tne, cfg.pe_cols)),
-            ceil_div(t.tn.min(layer.n), cfg.pe_cols),
-            (layer.r * layer.c) as u64,
-            (t.tr.min(layer.r) * t.tc.min(layer.c)) as u64,
-        ),
-    };
-    let cycles_group = k2 * sn * sm * src;
-    let cycles = cycles_group * g;
-    let time_us = cfg.cycles_to_us(cycles);
-    let macs = layer.total_macs();
-    let utilization = macs as f64 / (cycles as f64 * cfg.mac_count() as f64);
-
-    // --- level times (full-tile residencies, per group, in cycles) ------
-    let t3 = cycles_group;
-    let us = |c: u64| cfg.cycles_to_us(c);
-
-    // --- per-pattern storage, lifetimes, traffic -------------------------
     let n_hl = (layer.n * layer.h * layer.l) as u64;
     let m_rc = (layer.m * layer.r * layer.c) as u64;
     let mn_k2 = (layer.m * layer.n) as u64 * k2;
@@ -227,48 +193,8 @@ pub fn analyze(layer: &SchedLayer, pattern: Pattern, tiling: Tiling, cfg: &Accel
             weight_words: mn_k2,
         },
     };
-    let capacity = cfg.buffer.capacity_words();
-    let fits_buffer = storage.total() <= capacity;
+    let fits_buffer = storage.total() <= cfg.buffer.capacity_words();
 
-    let lifetimes = match pattern {
-        Pattern::Id => {
-            // Weights of one m-tile live through the whole RC sweep.
-            let t2 = k2 * sn * sm_full * src;
-            Lifetimes {
-                input_us: us(t3),
-                output_us: 0.0,
-                weight_us: us(t2),
-                output_rewrite_us: 0.0,
-                layer_us: time_us,
-            }
-        }
-        Pattern::Od => {
-            // T2: one n-tile across all M and RC; T1: one (n,m) tile across RC.
-            let t2 = k2 * sn_full * sm * src;
-            let t1 = k2 * sn_full * sm_full * src;
-            Lifetimes {
-                input_us: us(t2),
-                output_us: us(t3),
-                weight_us: us(t1),
-                output_rewrite_us: us(t2),
-                layer_us: time_us,
-            }
-        }
-        Pattern::Wd => {
-            // T2: one rc-tile across all M and N; T1: one (rc,m) tile across N.
-            let t2 = k2 * sn * sm * src_full;
-            let t1 = k2 * sn * sm_full * src_full;
-            Lifetimes {
-                input_us: us(t2),
-                output_us: us(t1),
-                weight_us: us(t3),
-                output_rewrite_us: us(t1),
-                layer_us: time_us,
-            }
-        }
-    };
-
-    // --- traffic (per group, scaled by g at the end) ---------------------
     // Core-side reads are pattern-independent for inputs (a tile is
     // fetched for every (m, n, rc) iteration) and pattern-dependent for
     // weights (OD holds a weight tile across the whole RC inner loop).
@@ -332,6 +258,95 @@ pub fn analyze(layer: &SchedLayer, pattern: Pattern, tiling: Tiling, cfg: &Accel
         buf_weight_reads: buf_weight_reads * g,
         buf_output_writes: buf_output_writes * g,
         buf_output_reads: buf_output_reads * g,
+    };
+    (storage, fits_buffer, traffic)
+}
+
+/// Analyzes `layer` under `pattern` with `tiling` on `cfg`.
+///
+/// The tiling is clamped to the layer's dimensions; it is the caller's
+/// responsibility to pass a tiling satisfying
+/// [`Tiling::fits_core`] — the analysis itself only checks the *buffer*
+/// capacity (overflow switches on the pattern's reload/spill traffic, it
+/// does not make the configuration invalid).
+pub fn analyze(layer: &SchedLayer, pattern: Pattern, tiling: Tiling, cfg: &AcceleratorConfig) -> LayerSim {
+    let t = tiling.clamped_to(layer);
+    let g = layer.groups as u64;
+    let k2 = (layer.k * layer.k) as u64;
+
+    // --- cycles ---------------------------------------------------------
+    // The PE rows always parallelize output channels; the columns
+    // parallelize output pixels (test accelerator) or input channels
+    // (DaDianNao). Per-loop "work sums" account for ceiling waste on edge
+    // tiles; cycles = K² × Sm × Sn × Src.
+    use crate::config::PeOrganization;
+    let sm = tile_sum(layer.m, t.tm, |tme| ceil_div(tme, cfg.pe_rows));
+    let sm_full = ceil_div(t.tm.min(layer.m), cfg.pe_rows);
+    let (sn, sn_full, src, src_full) = match cfg.organization {
+        PeOrganization::PixelColumns => (
+            layer.n as u64,
+            t.tn.min(layer.n) as u64,
+            tile_sum(layer.r, t.tr, |tre| {
+                tile_sum(layer.c, t.tc, |tce| ceil_div(tre * tce, cfg.pe_cols))
+            }),
+            ceil_div(t.tr.min(layer.r) * t.tc.min(layer.c), cfg.pe_cols),
+        ),
+        PeOrganization::ChannelColumns => (
+            tile_sum(layer.n, t.tn, |tne| ceil_div(tne, cfg.pe_cols)),
+            ceil_div(t.tn.min(layer.n), cfg.pe_cols),
+            (layer.r * layer.c) as u64,
+            (t.tr.min(layer.r) * t.tc.min(layer.c)) as u64,
+        ),
+    };
+    let cycles_group = k2 * sn * sm * src;
+    let cycles = cycles_group * g;
+    let time_us = cfg.cycles_to_us(cycles);
+    let macs = layer.total_macs();
+    let utilization = macs as f64 / (cycles as f64 * cfg.mac_count() as f64);
+
+    // --- level times (full-tile residencies, per group, in cycles) ------
+    let t3 = cycles_group;
+    let us = |c: u64| cfg.cycles_to_us(c);
+
+    // --- per-pattern storage, fit, and traffic ---------------------------
+    let (storage, fits_buffer, traffic) = storage_and_traffic(layer, pattern, tiling, cfg);
+
+    let lifetimes = match pattern {
+        Pattern::Id => {
+            // Weights of one m-tile live through the whole RC sweep.
+            let t2 = k2 * sn * sm_full * src;
+            Lifetimes {
+                input_us: us(t3),
+                output_us: 0.0,
+                weight_us: us(t2),
+                output_rewrite_us: 0.0,
+                layer_us: time_us,
+            }
+        }
+        Pattern::Od => {
+            // T2: one n-tile across all M and RC; T1: one (n,m) tile across RC.
+            let t2 = k2 * sn_full * sm * src;
+            let t1 = k2 * sn_full * sm_full * src;
+            Lifetimes {
+                input_us: us(t2),
+                output_us: us(t3),
+                weight_us: us(t1),
+                output_rewrite_us: us(t2),
+                layer_us: time_us,
+            }
+        }
+        Pattern::Wd => {
+            // T2: one rc-tile across all M and N; T1: one (rc,m) tile across N.
+            let t2 = k2 * sn * sm * src_full;
+            let t1 = k2 * sn * sm_full * src_full;
+            Lifetimes {
+                input_us: us(t2),
+                output_us: us(t1),
+                weight_us: us(t3),
+                output_rewrite_us: us(t1),
+                layer_us: time_us,
+            }
+        }
     };
 
     LayerSim {

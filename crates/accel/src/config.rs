@@ -9,10 +9,9 @@
 //!   `Tm = Tn = 64`, `Tr = Tc = 1`, 36 MB eDRAM, 606 MHz.
 
 use rana_edram::energy::BufferTech;
-use serde::{Deserialize, Serialize};
 
 /// How the 2-D PE array maps work: what its columns parallelize.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PeOrganization {
     /// Rows = output channels, columns = output pixels (the test
     /// accelerator's Envision-like core, §III-A: "16 rows of PEs share the
@@ -25,7 +24,7 @@ pub enum PeOrganization {
 }
 
 /// On-chip unified buffer geometry and technology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BufferConfig {
     /// SRAM or eDRAM.
     pub tech: BufferTech,
@@ -79,7 +78,7 @@ impl BufferConfig {
 }
 
 /// A complete accelerator configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AcceleratorConfig {
     /// Human-readable name.
     pub name: String,

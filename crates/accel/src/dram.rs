@@ -10,7 +10,6 @@
 //! — and the bandwidth ablation (`exp_ablation`) shows where it breaks.
 
 use crate::analysis::LayerSim;
-use serde::{Deserialize, Serialize};
 
 /// A DDR3 channel.
 ///
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// // 1 MB at 70% efficiency: ~112 µs.
 /// assert!((ddr.transfer_time_us(500_000) - 111.6).abs() < 0.1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Ddr3Model {
     /// I/O bus clock in Hz (data moves on both edges).
     pub io_clock_hz: f64,
@@ -73,7 +72,7 @@ impl Default for Ddr3Model {
 }
 
 /// Timing of one layer under a bandwidth constraint.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayerPerformance {
     /// Pure compute time (the analytic `time_us`).
     pub compute_us: f64,

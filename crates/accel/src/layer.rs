@@ -6,10 +6,9 @@
 //! *per-group* channel counts plus the group count.
 
 use rana_zoo::ConvShape;
-use serde::{Deserialize, Serialize};
 
 /// A CONV layer as the scheduler and simulator see it (per channel group).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SchedLayer {
     /// Layer name.
     pub name: String,

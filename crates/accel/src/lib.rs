@@ -40,13 +40,15 @@ pub mod analysis;
 pub mod config;
 pub mod dram;
 pub mod exec;
+pub mod fingerprint;
 pub mod layer;
 pub mod pattern;
 pub mod refresh;
 pub mod trace;
 
-pub use analysis::{analyze, LayerSim, Lifetimes, Storage, Traffic};
+pub use analysis::{analyze, storage_and_traffic, LayerSim, Lifetimes, Storage, Traffic};
 pub use config::{AcceleratorConfig, BufferConfig};
+pub use fingerprint::{Fingerprint, Fnv1a};
 pub use layer::SchedLayer;
 pub use pattern::{Pattern, Tiling};
 pub use refresh::{layer_refresh_words, ControllerKind, RefreshModel};

@@ -12,11 +12,10 @@
 
 use crate::config::AcceleratorConfig;
 use crate::layer::SchedLayer;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Loop dimensions of the memory-control part.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LoopDim {
     /// Output-channel loop.
     M,
@@ -27,7 +26,7 @@ pub enum LoopDim {
 }
 
 /// A computation pattern: the loop order of the memory-control part.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pattern {
     /// Input dominant: `M` outermost (the typical pattern, Figure 3(b)).
     Id,
@@ -72,7 +71,7 @@ impl fmt::Display for Pattern {
 }
 
 /// Tiling parameters `⟨Tm, Tn, Tr, Tc⟩` of the core computing part.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Tiling {
     /// Output channels per tile.
     pub tm: usize,
@@ -138,14 +137,18 @@ impl Tiling {
             v.push(limit);
             v
         };
+        let tm_axis = axis(layer.m.min(cfg.local_output_words));
+        let tn_axis = axis(layer.n);
+        let tr_axis = axis(layer.r);
+        let tc_axis = axis(layer.c);
         let mut out = Vec::new();
-        for &tm in &axis(layer.m.min(cfg.local_output_words)) {
-            for &tn in &axis(layer.n) {
+        for &tm in &tm_axis {
+            for &tn in &tn_axis {
                 if tm * tn * layer.k * layer.k > cfg.local_weight_words {
                     continue;
                 }
-                for &tr in &axis(layer.r) {
-                    for &tc in &axis(layer.c) {
+                for &tr in &tr_axis {
+                    for &tc in &tc_axis {
                         let t = Tiling::new(tm, tn, tr, tc);
                         if t.fits_core(layer, cfg) {
                             out.push(t);

@@ -24,10 +24,9 @@
 use crate::analysis::LayerSim;
 use crate::config::AcceleratorConfig;
 use rana_edram::energy::BufferTech;
-use serde::{Deserialize, Serialize};
 
 /// Memory-controller kind (the "Memory Controller" column of Table IV).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ControllerKind {
     /// Conventional all-banks refresh.
     Conventional,
@@ -36,7 +35,7 @@ pub enum ControllerKind {
 }
 
 /// Refresh interval plus controller kind.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RefreshModel {
     /// Pulse period in µs (= tolerable retention time).
     pub interval_us: f64,

@@ -106,8 +106,9 @@ fn bandwidth_sensitivity() {
     let eval = Evaluator::paper_platform();
     let net = rana_zoo::resnet50();
     println!("{:<12} {:>12} {:>12} {:>12} {:>12}", "design", "0.25x BW", "0.5x BW", "1x (12.8GB/s)", "2x BW");
-    for design in [Design::SId, Design::EdId, Design::RanaStarE5] {
-        let result = eval.evaluate(&net, design);
+    let designs = [Design::SId, Design::EdId, Design::RanaStarE5];
+    let results = eval.evaluate_many(&designs.map(|d| (&net, d)));
+    for (design, result) in designs.iter().zip(&results) {
         print!("{:<12}", design.label());
         for factor in [0.25, 0.5, 1.0, 2.0] {
             let ddr = Ddr3Model::ddr3_1600().scaled(factor);
@@ -181,13 +182,20 @@ fn temperature_sweep() {
     let eval = Evaluator::paper_platform();
     let net = rana_zoo::resnet50();
     println!("{:>8} {:>16} {:>18} {:>16}", "dT (C)", "typical RT (us)", "tolerable RT (us)", "RANA* total (mJ)");
-    for dt in [0.0, 10.0, 20.0, 30.0] {
-        let dist = base.at_temperature_delta(dt);
-        let refresh = RefreshModel {
-            interval_us: dist.tolerable_retention_us(1e-5),
-            kind: ControllerKind::RefreshOptimized,
-        };
-        let e = eval.evaluate_with_refresh(&net, Design::RanaStarE5, refresh);
+    let dts = [0.0, 10.0, 20.0, 30.0];
+    let dists: Vec<_> = dts.iter().map(|&dt| base.at_temperature_delta(dt)).collect();
+    let points: Vec<_> = dists
+        .iter()
+        .map(|dist| {
+            let refresh = RefreshModel {
+                interval_us: dist.tolerable_retention_us(1e-5),
+                kind: ControllerKind::RefreshOptimized,
+            };
+            (&net, Design::RanaStarE5, refresh)
+        })
+        .collect();
+    let results = eval.evaluate_refresh_many(&points);
+    for ((dt, dist), e) in dts.iter().zip(&dists).zip(&results) {
         println!(
             "{dt:>8.0} {:>16.1} {:>18.1} {:>16.2}",
             dist.typical_retention_us(),
@@ -201,15 +209,21 @@ fn resolution_scaling() {
     println!("\n[6] Input-resolution scaling (paper Table I remark)");
     let eval = Evaluator::paper_platform();
     println!("{:<12} {:>12} {:>14} {:>16} {:>16}", "network", "max out (MB)", "S+ID (mJ)", "RANA* (mJ)", "RANA* saving");
-    for net in [
+    let nets = [
         rana_zoo::vgg16(),
         rana_zoo::vgg16_with_input(448),
         rana_zoo::resnet50(),
         rana_zoo::resnet50_with_input(448),
-    ] {
-        let m = MaxStorage::of(&net);
-        let sram = eval.evaluate(&net, Design::SId).total.total_j();
-        let star = eval.evaluate(&net, Design::RanaStarE5).total.total_j();
+    ];
+    let points: Vec<_> = nets
+        .iter()
+        .flat_map(|net| [(net, Design::SId), (net, Design::RanaStarE5)])
+        .collect();
+    let results = eval.evaluate_many(&points);
+    for (net, pair) in nets.iter().zip(results.chunks(2)) {
+        let m = MaxStorage::of(net);
+        let sram = pair[0].total.total_j();
+        let star = pair[1].total.total_j();
         println!(
             "{:<12} {:>12.2} {:>14.1} {:>16.1} {:>15.1}%",
             net.name(),

@@ -22,6 +22,7 @@ fn main() {
         ("exp_fig19", &[]),
         ("exp_ablation", &[]),
         ("exp_sensitivity", &[]),
+        ("exp_bench_sched", &[]),
     ];
     for (name, args) in experiments {
         let status = Command::new(dir.join(name))

@@ -19,13 +19,24 @@ fn main() {
         .accelerator_j();
 
     println!("{:<10} {:>12} {:>14} {:>14}", "RT (us)", "design", "accel (norm)", "refresh (norm)");
+    // Evaluate the full retention x design grid in one parallel fan-out,
+    // then print in the original sweep order.
+    let net_ref = &net;
+    let points: Vec<_> = rts
+        .iter()
+        .flat_map(|&rt| {
+            designs.iter().map(move |&d| {
+                (net_ref, d, RefreshModel { interval_us: rt, kind: ControllerKind::Conventional })
+            })
+        })
+        .collect();
+    let results = eval.evaluate_refresh_many(&points);
+
     let mut csv = Vec::new();
-    let mut refresh_at = |d: Design, rt: f64| -> f64 {
-        let r = eval.evaluate_with_refresh(
-            &net,
-            d,
-            RefreshModel { interval_us: rt, kind: ControllerKind::Conventional },
-        );
+    let mut ed_id_refresh = Vec::new();
+    let mut ed_od_refresh = Vec::new();
+    for ((_, d, refresh_model), r) in points.iter().zip(&results) {
+        let rt = refresh_model.interval_us;
         println!(
             "{rt:<10} {:>12} {:>14.3} {:>14.3}",
             d.label(),
@@ -38,20 +49,11 @@ fn main() {
             r.total.accelerator_j() / base,
             r.total.refresh_j / base
         ));
-        r.total.refresh_j
-    };
-    let mut ed_id_refresh = Vec::new();
-    let mut ed_od_refresh = Vec::new();
-    for rt in rts {
-        for d in designs {
-            let refresh = refresh_at(d, rt);
-            match d {
-                Design::EdId => ed_id_refresh.push(refresh),
-                Design::EdOd => ed_od_refresh.push(refresh),
-                _ => {}
-            }
+        match d {
+            Design::EdId => ed_id_refresh.push(r.total.refresh_j),
+            Design::EdOd => ed_od_refresh.push(r.total.refresh_j),
+            _ => println!(),
         }
-        println!();
     }
     rana_bench::write_csv("fig16_retention_sweep.csv", "rt_us,design,accel_norm,refresh_norm", &csv);
 

@@ -10,8 +10,8 @@ fn main() {
     banner("Figure 17", "Layerwise VGG system energy: eD+OD vs RANA(0)");
     let eval = Evaluator::paper_platform();
     let net = rana_zoo::vgg16();
-    let edod = eval.evaluate(&net, Design::EdOd);
-    let rana0 = eval.evaluate(&net, Design::Rana0);
+    let results = eval.evaluate_many(&[(&net, Design::EdOd), (&net, Design::Rana0)]);
+    let (edod, rana0) = (&results[0], &results[1]);
 
     println!(
         "{:<10} {:>8} {:>8} {:>12} {:>12} {:>10}",

@@ -7,11 +7,13 @@
 //! failure-rate budget could beat the paper's uniform one.
 
 use rana_bench::banner;
+use rana_core::par::par_map;
 use rana_nn::data::SyntheticDataset;
 use rana_nn::layers::{Layer, SoftmaxCrossEntropy};
 use rana_nn::models::mini_benchmarks;
 use rana_nn::train::Trainer;
 use rana_nn::FaultContext;
+use std::fmt::Write as _;
 
 /// Parameterized-layer names per mini model, in `corrupt()`-call order
 /// (each makes two calls: input, weights).
@@ -35,7 +37,11 @@ fn main() {
     let rate = 3e-2;
     let trials = 4;
 
-    for (name, make) in mini_benchmarks() {
+    // Each mini model (train + fault trials) is independent; fan the four
+    // across the worker pool, collect each report as a string, and print
+    // them in the original order.
+    let models = mini_benchmarks();
+    let reports = par_map(&models, |(name, make)| {
         // Train until converged (restart with a new seed if a model lands
         // in a bad basin — small nets occasionally do).
         let mut net = make(4, 0xACC);
@@ -55,7 +61,8 @@ fn main() {
         }
 
         let layers = param_layers(name);
-        println!("\n{name}-s (clean fixed-point accuracy {:.1}%):", baseline * 100.0);
+        let mut report = String::new();
+        let _ = writeln!(report, "\n{name}-s (clean fixed-point accuracy {:.1}%):", baseline * 100.0);
         for (li, lname) in layers.iter().enumerate() {
             let mut acc_sum = 0.0;
             for trial in 0..trials {
@@ -72,12 +79,17 @@ fn main() {
                 acc_sum += correct as f64 / total as f64;
             }
             let acc = acc_sum / trials as f64;
-            println!(
+            let _ = writeln!(
+                report,
                 "  faults only in {lname:<12} accuracy {:>5.1}%  (drop {:>5.1} pts)",
                 acc * 100.0,
                 (baseline - acc) * 100.0
             );
         }
+        report
+    });
+    for report in &reports {
+        print!("{report}");
     }
     println!("\n(The classifier and the deepest convolutions dominate the sensitivity; a per-layer");
     println!(" failure-rate budget could therefore relax the early layers' retention further.)");

@@ -49,13 +49,17 @@ pub fn run_design_matrix(eval: &Evaluator, nets: &[Network]) -> Vec<(String, Des
     let mut rows = Vec::new();
     let mut per_design_norms: Vec<Vec<EnergyBreakdown>> = vec![Vec::new(); Design::ALL.len()];
     let mut csv = Vec::new();
-    for net in nets {
-        let results: Vec<NetworkEnergy> =
-            Design::ALL.iter().map(|&d| eval.evaluate(net, d)).collect();
+    // Fan the whole networks x designs matrix across the worker pool in one
+    // go; results come back in point order, identical to serial evaluation.
+    let points: Vec<(&Network, Design)> =
+        nets.iter().flat_map(|net| Design::ALL.iter().map(move |&d| (net, d))).collect();
+    let all_results = eval.evaluate_many(&points);
+    for (net, results) in nets.iter().zip(all_results.chunks(Design::ALL.len())) {
+        let results: &[NetworkEnergy] = results;
         let base = results[0].total.total_j();
         println!("\n-- {} (normalized to S+ID = 1.0) --", net.name());
         println!("{}", breakdown_header("x S+ID"));
-        for (i, (d, r)) in Design::ALL.iter().zip(&results).enumerate() {
+        for (i, (d, r)) in Design::ALL.iter().zip(results).enumerate() {
             let norm = r.total.normalized_to(base);
             println!("{}", breakdown_row(d.label(), &norm));
             csv.push(format!(

@@ -167,7 +167,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = args.json_path {
-        let json = serde_json::to_string_pretty(&lw).expect("configurations serialize");
+        let json = lw.to_json_pretty();
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;

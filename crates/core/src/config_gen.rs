@@ -10,10 +10,9 @@
 use crate::scheduler::NetworkSchedule;
 use rana_accel::{AcceleratorConfig, RefreshModel};
 use rana_edram::{BankAllocation, ClockDivider, DataType, UnifiedBuffer};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerConfig {
     /// Layer name.
     pub layer: String,
@@ -27,7 +26,7 @@ pub struct LayerConfig {
 }
 
 /// The full compilation output for one network on one accelerator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerwiseConfig {
     /// Network name.
     pub network: String,
@@ -79,6 +78,67 @@ impl LayerwiseConfig {
         }
     }
 
+    /// Serializes the configuration to a compact JSON string.
+    pub fn to_json(&self) -> String {
+        self.render_json(false)
+    }
+
+    /// Serializes the configuration to an indented JSON string.
+    pub fn to_json_pretty(&self) -> String {
+        self.render_json(true)
+    }
+
+    fn render_json(&self, pretty: bool) -> String {
+        let (nl, ind, ind2, ind3) = if pretty {
+            ("\n", "  ", "    ", "      ")
+        } else {
+            ("", "", "", "")
+        };
+        let sep = if pretty { ": " } else { ":" };
+        let mut out = String::with_capacity(256 + self.layers.len() * 160);
+        out.push('{');
+        out.push_str(nl);
+        out.push_str(&format!("{ind}\"network\"{sep}{},{nl}", json_string(&self.network)));
+        out.push_str(&format!(
+            "{ind}\"tolerable_retention_us\"{sep}{},{nl}",
+            json_f64(self.tolerable_retention_us)
+        ));
+        out.push_str(&format!("{ind}\"clock_divider\"{sep}{},{nl}", self.clock_divider));
+        out.push_str(&format!("{ind}\"layers\"{sep}["));
+        for (i, l) in self.layers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(nl);
+            out.push_str(&format!("{ind2}{{{nl}"));
+            out.push_str(&format!("{ind3}\"layer\"{sep}{},{nl}", json_string(&l.layer)));
+            out.push_str(&format!("{ind3}\"pattern\"{sep}{},{nl}", json_string(&l.pattern)));
+            match &l.allocation {
+                None => out.push_str(&format!("{ind3}\"allocation\"{sep}null,{nl}")),
+                Some(a) => out.push_str(&format!(
+                    "{ind3}\"allocation\"{sep}{{\"input_banks\"{sep}[{},{}],\
+                     \"output_banks\"{sep}[{},{}],\"weight_banks\"{sep}[{},{}],\
+                     \"total_banks\"{sep}{}}},{nl}",
+                    a.input_banks.start,
+                    a.input_banks.end,
+                    a.output_banks.start,
+                    a.output_banks.end,
+                    a.weight_banks.start,
+                    a.weight_banks.end,
+                    a.total_banks
+                )),
+            }
+            let flags: Vec<&str> =
+                l.refresh_flags.iter().map(|&f| if f { "true" } else { "false" }).collect();
+            out.push_str(&format!("{ind3}\"refresh_flags\"{sep}[{}]{nl}", flags.join(",")));
+            out.push_str(&format!("{ind2}}}"));
+        }
+        out.push_str(nl);
+        out.push_str(&format!("{ind}]{nl}"));
+        out.push('}');
+        out
+    }
+
     /// Fraction of bank-pulse slots with refresh disabled, over all layers
     /// (a quick view of how refresh-free the network is).
     pub fn disabled_flag_fraction(&self) -> f64 {
@@ -93,6 +153,37 @@ impl LayerwiseConfig {
         } else {
             disabled as f64 / total as f64
         }
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an f64 so it round-trips as a JSON number.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x}");
+        // Bare integers are valid JSON numbers, keep them short.
+        s
+    } else {
+        // JSON has no NaN/inf; null is the conventional stand-in.
+        "null".to_string()
     }
 }
 

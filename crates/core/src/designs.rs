@@ -11,11 +11,10 @@
 
 use rana_accel::{ControllerKind, Pattern, RefreshModel};
 use rana_edram::RetentionDistribution;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A Table IV design point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Design {
     /// SRAM baseline with the typical ID pattern.
     SId,

@@ -6,11 +6,10 @@
 
 use rana_accel::{AcceleratorConfig, LayerSim};
 use rana_edram::EnergyCosts;
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign};
 
 /// Energy of one layer or network, split the way Figures 1 and 15 plot it.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBreakdown {
     /// MAC (computing) energy, joules.
     pub computing_j: f64,
@@ -66,7 +65,7 @@ impl AddAssign for EnergyBreakdown {
 }
 
 /// Evaluates Eq. 14 for analyzed layers.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Per-operation costs (Table III).
     pub costs: EnergyCosts,

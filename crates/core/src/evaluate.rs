@@ -3,14 +3,15 @@
 
 use crate::designs::Design;
 use crate::energy::EnergyBreakdown;
+use crate::par::{par_map, ScheduleCache};
 use crate::scheduler::{NetworkSchedule, Scheduler};
 use rana_accel::{AcceleratorConfig, Pattern, RefreshModel, Tiling};
 use rana_edram::RetentionDistribution;
 use rana_zoo::Network;
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Evaluated energy of one network under one design.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkEnergy {
     /// Network name.
     pub network: String,
@@ -30,12 +31,20 @@ pub struct NetworkEnergy {
 
 /// The evaluation platform: a base accelerator (SRAM and eDRAM variants
 /// share everything but the buffer) plus the retention distribution.
+///
+/// Every evaluation runs on the parallel + memoized scheduling engine
+/// with a cache shared across calls (and across clones of this
+/// evaluator): re-evaluating a design point, or a network whose layer
+/// shapes another design point already searched under the same context,
+/// reuses the finished searches. Results are bit-identical to the serial
+/// scheduler — the cache key covers everything a search depends on.
 #[derive(Debug, Clone)]
 pub struct Evaluator {
     sram_cfg: AcceleratorConfig,
     edram_cfg: AcceleratorConfig,
     dist: RetentionDistribution,
     fixed_tiling: Option<Tiling>,
+    cache: Arc<ScheduleCache>,
 }
 
 impl Evaluator {
@@ -47,6 +56,7 @@ impl Evaluator {
             edram_cfg: AcceleratorConfig::paper_edram(),
             dist: RetentionDistribution::kong2008(),
             fixed_tiling: None,
+            cache: Arc::new(ScheduleCache::new()),
         }
     }
 
@@ -68,7 +78,13 @@ impl Evaluator {
             edram_cfg: AcceleratorConfig::dadiannao(),
             dist: RetentionDistribution::kong2008(),
             fixed_tiling: Some(Tiling::new(64, 64, 1, 1)),
+            cache: Arc::new(ScheduleCache::new()),
         }
+    }
+
+    /// The schedule cache shared by this evaluator's calls.
+    pub fn cache(&self) -> &ScheduleCache {
+        &self.cache
     }
 
     /// The eDRAM accelerator configuration in use.
@@ -97,13 +113,11 @@ impl Evaluator {
         s
     }
 
-    /// Evaluates `net` under `design`.
-    pub fn evaluate(&self, net: &Network, design: Design) -> NetworkEnergy {
-        let scheduler = self.scheduler_for(design);
-        let schedule = scheduler.schedule_network(net);
+    /// Packages a finished schedule into the reported summary.
+    fn package(net: &Network, design: String, schedule: NetworkSchedule) -> NetworkEnergy {
         NetworkEnergy {
             network: net.name().to_string(),
-            design: design.label().to_string(),
+            design,
             total: schedule.total_energy(),
             refresh_words: schedule.total_refresh_words(),
             dram_words: schedule.total_dram_words(),
@@ -112,21 +126,54 @@ impl Evaluator {
         }
     }
 
+    /// Runs one scheduler on the memoized engine. `threads` as in
+    /// [`Scheduler::schedule_network_with`] (`0` = auto).
+    fn run(&self, scheduler: &Scheduler, net: &Network, threads: usize) -> NetworkSchedule {
+        scheduler.schedule_network_with(net, Some(&self.cache), threads)
+    }
+
+    /// Evaluates `net` under `design`.
+    pub fn evaluate(&self, net: &Network, design: Design) -> NetworkEnergy {
+        let scheduler = self.scheduler_for(design);
+        let schedule = self.run(&scheduler, net, 0);
+        Self::package(net, design.label().to_string(), schedule)
+    }
+
     /// Evaluates with an explicit refresh model (the Figure 16 retention
     /// time sweep).
     pub fn evaluate_with_refresh(&self, net: &Network, design: Design, refresh: RefreshModel) -> NetworkEnergy {
         let mut scheduler = self.scheduler_for(design);
         scheduler.refresh = refresh;
-        let schedule = scheduler.schedule_network(net);
-        NetworkEnergy {
-            network: net.name().to_string(),
-            design: format!("{} @{}us", design.label(), refresh.interval_us),
-            total: schedule.total_energy(),
-            refresh_words: schedule.total_refresh_words(),
-            dram_words: schedule.total_dram_words(),
-            time_us: schedule.total_time_us(),
-            schedule,
-        }
+        let schedule = self.run(&scheduler, net, 0);
+        Self::package(net, format!("{} @{}us", design.label(), refresh.interval_us), schedule)
+    }
+
+    /// Evaluates every `(network, design)` point, fanning the points over
+    /// the worker pool while sharing one schedule cache. Results come
+    /// back in input order and are identical to calling
+    /// [`Self::evaluate`] point by point.
+    pub fn evaluate_many(&self, points: &[(&Network, Design)]) -> Vec<NetworkEnergy> {
+        par_map(points, |&(net, design)| {
+            let scheduler = self.scheduler_for(design);
+            // Inner searches stay single-threaded: the fan-out is here.
+            let schedule = self.run(&scheduler, net, 1);
+            Self::package(net, design.label().to_string(), schedule)
+        })
+    }
+
+    /// [`Self::evaluate_many`] for explicit refresh models (retention
+    /// sweeps): evaluates every `(network, design, refresh)` point in
+    /// parallel, in input order.
+    pub fn evaluate_refresh_many(
+        &self,
+        points: &[(&Network, Design, RefreshModel)],
+    ) -> Vec<NetworkEnergy> {
+        par_map(points, |&(net, design, refresh)| {
+            let mut scheduler = self.scheduler_for(design);
+            scheduler.refresh = refresh;
+            let schedule = self.run(&scheduler, net, 1);
+            Self::package(net, format!("{} @{}us", design.label(), refresh.interval_us), schedule)
+        })
     }
 
     /// The original DaDianNao baseline: pure WD at the fixed tiling,
@@ -135,16 +182,8 @@ impl Evaluator {
     pub fn evaluate_dadiannao_baseline(&self, net: &Network) -> NetworkEnergy {
         let mut scheduler = self.scheduler_for(Design::EdOd);
         scheduler.patterns = vec![Pattern::Wd];
-        let schedule = scheduler.schedule_network(net);
-        NetworkEnergy {
-            network: net.name().to_string(),
-            design: "DaDianNao".to_string(),
-            total: schedule.total_energy(),
-            refresh_words: schedule.total_refresh_words(),
-            dram_words: schedule.total_dram_words(),
-            time_us: schedule.total_time_us(),
-            schedule,
-        }
+        let schedule = self.run(&scheduler, net, 0);
+        Self::package(net, "DaDianNao".to_string(), schedule)
     }
 }
 

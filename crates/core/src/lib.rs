@@ -37,6 +37,7 @@ pub mod config_gen;
 pub mod designs;
 pub mod energy;
 pub mod evaluate;
+pub mod par;
 pub mod report;
 pub mod runtime;
 pub mod scheduler;
@@ -45,4 +46,5 @@ pub mod training_stage;
 pub use designs::Design;
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use evaluate::{Evaluator, NetworkEnergy};
+pub use par::{par_map, par_map_with, thread_count, ScheduleCache};
 pub use scheduler::{LayerSchedule, NetworkSchedule, Scheduler};

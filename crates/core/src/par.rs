@@ -1,0 +1,234 @@
+//! The parallel evaluation engine: a scoped worker pool and a sharded
+//! schedule cache, both built on `std` alone.
+//!
+//! RANA's Stage-2 search and the paper's design-space sweeps (Figures
+//! 15-19) are embarrassingly parallel — candidates, layers, and design
+//! points are all independent — but the *selection* among candidates is
+//! order-sensitive (the scheduler's tie-breaking predicate is not a total
+//! order). The engine therefore parallelizes only the evaluation:
+//! [`par_map`] preserves input order exactly, and every reduction over
+//! its output runs serially in that order, making parallel results
+//! bit-identical to the serial path.
+//!
+//! [`ScheduleCache`] memoizes finished layer searches across threads,
+//! networks, and design points, keyed by the canonical fingerprints of
+//! `rana_accel::fingerprint` (layer shape + full scheduling context). The
+//! map is sharded by key so concurrent workers rarely contend on a lock.
+
+use crate::scheduler::LayerSchedule;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker threads to use: the `RANA_THREADS` environment variable when
+/// set (≥ 1), otherwise [`std::thread::available_parallelism`].
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("RANA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every item on a scoped worker pool, returning results
+/// in input order (deterministic regardless of scheduling).
+///
+/// Uses [`thread_count`] workers; see [`par_map_with`] for an explicit
+/// count. With one worker (or one item) it runs inline, so the serial
+/// and parallel code paths share every instruction except the fan-out.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(items, thread_count(), f)
+}
+
+/// [`par_map`] with an explicit worker count.
+///
+/// Work is distributed by an atomic counter (dynamic stealing — layer
+/// searches vary wildly in cost), and each worker tags results with
+/// their input index; the join scatters them back into place.
+pub fn par_map_with<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.max(1).min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    for (i, r) in tagged {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced exactly once"))
+        .collect()
+}
+
+/// Shards in the schedule cache. A power of two; selected by the low
+/// bits of the (already well-mixed) FNV key.
+const SHARDS: usize = 16;
+
+/// A concurrent memoization cache for finished layer searches.
+///
+/// Keys are `Scheduler::layer_key` digests — the layer's shape fingerprint
+/// composed with the scheduler's context fingerprint — so one cache can be
+/// shared safely across networks, refresh intervals, and design points:
+/// any context difference that could change the result changes the key.
+///
+/// Cached values carry the name of the first layer that produced them;
+/// readers patch in their own layer name (shapes are shared, names are
+/// not).
+#[derive(Debug, Default)]
+pub struct ScheduleCache {
+    shards: [Mutex<HashMap<u64, LayerSchedule>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScheduleCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, LayerSchedule>> {
+        &self.shards[(key as usize) & (SHARDS - 1)]
+    }
+
+    /// Looks up a finished search, counting the hit or miss.
+    pub fn get(&self, key: u64) -> Option<LayerSchedule> {
+        let found = self.shard(key).lock().expect("cache shard poisoned").get(&key).cloned();
+        match found {
+            Some(s) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(s)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a finished search. Last write wins; concurrent writers for
+    /// the same key store identical values (the search is deterministic),
+    /// so the race is benign.
+    pub fn insert(&self, key: u64, value: LayerSchedule) {
+        self.shard(key).lock().expect("cache shard poisoned").insert(key, value);
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = par_map_with(&items, threads, |&x| x * x);
+            assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton() {
+        let none: Vec<u32> = vec![];
+        assert!(par_map_with(&none, 4, |&x| x).is_empty());
+        assert_eq!(par_map_with(&[7u32], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_uneven_work_still_ordered() {
+        // Make later items cheap and early items expensive so workers
+        // finish out of order.
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map_with(&items, 4, |&i| {
+            let spins = (64 - i) * 1000;
+            let mut acc = 0u64;
+            for k in 0..spins {
+                acc = acc.wrapping_add(k as u64 ^ acc.rotate_left(7));
+            }
+            i + (acc % 1) as usize // == i, but the spin loop cannot be optimized out
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        use rana_accel::{analyze, AcceleratorConfig, Pattern, SchedLayer, Tiling};
+        let cfg = AcceleratorConfig::paper_edram();
+        let layer = SchedLayer::from_conv(rana_zoo::alexnet().conv("conv1").unwrap());
+        let sim = analyze(&layer, Pattern::Od, Tiling::new(16, 16, 1, 16), &cfg);
+        let sched = LayerSchedule {
+            sim,
+            refresh_words: 0,
+            energy: crate::energy::EnergyBreakdown::default(),
+        };
+
+        let cache = ScheduleCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.get(42).is_none());
+        cache.insert(42, sched.clone());
+        let got = cache.get(42).expect("stored entry");
+        assert_eq!(got, sched);
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+    }
+}

@@ -7,13 +7,15 @@
 //! form the *hybrid computation pattern* `⟨OD/WD, Tm, Tn, Tr, Tc⟩`.
 
 use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::par::{self, ScheduleCache};
 use rana_accel::{analyze, AcceleratorConfig, LayerSim, Pattern, RefreshModel, SchedLayer, Tiling};
+use rana_accel::fingerprint::{Fingerprint, Fnv1a};
 use rana_accel::refresh::layer_refresh_words;
 use rana_zoo::Network;
-use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// The chosen execution of one layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerSchedule {
     /// Full analysis of the winning `(pattern, tiling)`.
     pub sim: LayerSim,
@@ -24,7 +26,7 @@ pub struct LayerSchedule {
 }
 
 /// A whole network scheduled layer by layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkSchedule {
     /// Network name.
     pub network: String,
@@ -130,50 +132,201 @@ impl Scheduler {
         LayerSchedule { sim, refresh_words, energy }
     }
 
-    /// Schedules one layer: the minimum-energy `(pattern, tiling)`.
+    /// Whether a candidate satisfies the optional bandwidth constraint.
+    fn meets_perf(&self, s: &LayerSchedule) -> bool {
+        match &self.bandwidth {
+            None => true,
+            Some(ddr) => !rana_accel::dram::LayerPerformance::of(&s.sim, ddr).memory_bound(),
+        }
+    }
+
+    /// The selection predicate: does `cand` replace the incumbent?
+    ///
+    /// Prefer candidates meeting the bandwidth constraint, then minimize
+    /// energy; within a 1% energy band (energy is nearly flat in some
+    /// tiling directions) prefer fewer cycles, preserving the paper's
+    /// "performance loss is negligible" property.
+    ///
+    /// This is *not* a total order (the cycle tie-break only applies
+    /// inside the band), so the scan over candidates must always run in
+    /// the canonical candidate order — which is why the parallel path
+    /// evaluates concurrently but folds serially.
+    fn improves(best: &Option<(LayerSchedule, bool)>, cand: &LayerSchedule, cand_ok: bool) -> bool {
+        match best {
+            None => true,
+            Some((b, b_ok)) => {
+                if cand_ok != *b_ok {
+                    cand_ok
+                } else {
+                    let (e, be) = (cand.energy.total_j(), b.energy.total_j());
+                    e < be * 0.99 || (e <= be * 1.01 && cand.sim.cycles < b.sim.cycles)
+                }
+            }
+        }
+    }
+
+    /// The candidate space `(pattern, tiling)` in canonical scan order.
     ///
     /// # Panics
     ///
     /// Panics if the pattern list is empty.
-    pub fn schedule_layer(&self, layer: &SchedLayer) -> LayerSchedule {
+    fn candidate_space(&self, layer: &SchedLayer) -> Vec<(Pattern, Tiling)> {
         assert!(!self.patterns.is_empty(), "scheduler needs at least one pattern");
         let tilings: Vec<Tiling> = match self.fixed_tiling {
             Some(t) => vec![t],
             None => Tiling::candidates(layer, &self.cfg),
         };
-        let meets_perf = |s: &LayerSchedule| -> bool {
-            match &self.bandwidth {
-                None => true,
-                Some(ddr) => !rana_accel::dram::LayerPerformance::of(&s.sim, ddr).memory_bound(),
-            }
-        };
-        let mut best: Option<(LayerSchedule, bool)> = None;
+        let mut out = Vec::with_capacity(self.patterns.len() * tilings.len());
         for &pattern in &self.patterns {
             for &tiling in &tilings {
-                let cand = self.candidate(layer, pattern, tiling);
-                let cand_ok = meets_perf(&cand);
-                // Prefer candidates meeting the bandwidth constraint, then
-                // minimize energy; within a 1% energy band (energy is
-                // nearly flat in some tiling directions) prefer fewer
-                // cycles, preserving the paper's "performance loss is
-                // negligible" property.
-                let better = match &best {
-                    None => true,
-                    Some((b, b_ok)) => {
-                        if cand_ok != *b_ok {
-                            cand_ok
-                        } else {
-                            let (e, be) = (cand.energy.total_j(), b.energy.total_j());
-                            e < be * 0.99 || (e <= be * 1.01 && cand.sim.cycles < b.sim.cycles)
-                        }
+                out.push((pattern, tiling));
+            }
+        }
+        out
+    }
+
+    /// A lower bound on a candidate's Eq. 14 energy, cheaper than the
+    /// full [`Scheduler::candidate`].
+    ///
+    /// Admissible by construction: the computing, buffer, and off-chip
+    /// terms are *exact* — they share [`rana_accel::storage_and_traffic`],
+    /// the closed-form traffic core of `analyze()`, including overflow
+    /// reload/spill penalties — and only the refresh term is bounded by
+    /// its floor of 0. The bound therefore equals the true energy minus
+    /// the candidate's refresh energy, and skips the name/cycle/lifetime
+    /// bookkeeping plus the refresh-word simulation of a full evaluation.
+    fn energy_lower_bound(&self, layer: &SchedLayer, pattern: Pattern, tiling: Tiling) -> f64 {
+        let (_, _, traffic) = rana_accel::storage_and_traffic(layer, pattern, tiling, &self.cfg);
+        let pj = 1e-12;
+        layer.total_macs() as f64 * self.model.costs.mac_pj * pj
+            + traffic.buffer_total() as f64
+                * self.model.costs.buffer_access_pj(self.cfg.buffer.tech)
+                * pj
+            + traffic.dram_total() as f64 * self.model.costs.ddr_access_pj * pj
+    }
+
+    /// The serial candidate scan, optionally pruned by the energy lower
+    /// bound. Pruning is only sound without a bandwidth constraint (a
+    /// high-energy candidate may still be the only compute-bound one), and
+    /// only skips candidates whose bound already exceeds the incumbent's
+    /// 1% tie-break band — exactly the condition under which the selection
+    /// predicate could never pick them, so the result is identical to the
+    /// exhaustive scan.
+    fn search_layer(&self, layer: &SchedLayer, prune: bool) -> LayerSchedule {
+        let prune = prune && self.bandwidth.is_none();
+        let mut best: Option<(LayerSchedule, bool)> = None;
+        for (pattern, tiling) in self.candidate_space(layer) {
+            if prune {
+                if let Some((b, _)) = &best {
+                    if self.energy_lower_bound(layer, pattern, tiling) > b.energy.total_j() * 1.01 {
+                        continue;
                     }
-                };
-                if better {
-                    best = Some((cand, cand_ok));
                 }
+            }
+            let cand = self.candidate(layer, pattern, tiling);
+            let cand_ok = self.meets_perf(&cand);
+            if Self::improves(&best, &cand, cand_ok) {
+                best = Some((cand, cand_ok));
             }
         }
         best.expect("tiling candidate list is never empty").0
+    }
+
+    /// Schedules one layer: the minimum-energy `(pattern, tiling)`.
+    ///
+    /// Candidates that provably cannot beat the incumbent (by the
+    /// admissible energy lower bound) are skipped without a full
+    /// analysis; the result is identical to
+    /// [`Self::schedule_layer_exhaustive`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern list is empty.
+    pub fn schedule_layer(&self, layer: &SchedLayer) -> LayerSchedule {
+        self.search_layer(layer, true)
+    }
+
+    /// [`Self::schedule_layer`] without lower-bound pruning: analyzes
+    /// every candidate. The reference implementation the pruned and
+    /// parallel paths are tested against.
+    pub fn schedule_layer_exhaustive(&self, layer: &SchedLayer) -> LayerSchedule {
+        self.search_layer(layer, false)
+    }
+
+    /// Schedules one layer with the candidate evaluations fanned over
+    /// `threads` worker threads (`0` = auto). The selection fold runs
+    /// serially in canonical candidate order, so the chosen schedule is
+    /// bit-identical to the serial path.
+    pub fn schedule_layer_par(&self, layer: &SchedLayer, threads: usize) -> LayerSchedule {
+        let threads = if threads == 0 { par::thread_count() } else { threads };
+        let space = self.candidate_space(layer);
+        let evaluated = par::par_map_with(&space, threads, |&(pattern, tiling)| {
+            let cand = self.candidate(layer, pattern, tiling);
+            let ok = self.meets_perf(&cand);
+            (cand, ok)
+        });
+        let mut best: Option<(LayerSchedule, bool)> = None;
+        for (cand, ok) in evaluated {
+            if Self::improves(&best, &cand, ok) {
+                best = Some((cand, ok));
+            }
+        }
+        best.expect("tiling candidate list is never empty").0
+    }
+
+    /// Canonical fingerprint of everything a layer search's *result*
+    /// depends on: accelerator, refresh model, energy costs, pattern
+    /// space, tiling policy, and bandwidth constraint.
+    /// `interlayer_forwarding` is deliberately excluded — it post-processes
+    /// the network schedule and never changes a per-layer search.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        self.cfg.fingerprint_into(&mut h);
+        self.refresh.fingerprint_into(&mut h);
+        self.model.costs.fingerprint_into(&mut h);
+        h.write_usize(self.patterns.len());
+        for p in &self.patterns {
+            p.fingerprint_into(&mut h);
+        }
+        match self.fixed_tiling {
+            None => h.write_u8(0),
+            Some(t) => {
+                h.write_u8(1);
+                t.fingerprint_into(&mut h);
+            }
+        }
+        match &self.bandwidth {
+            None => h.write_u8(0),
+            Some(d) => {
+                h.write_u8(1);
+                d.fingerprint_into(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// Memoization key for one layer under this scheduler: the context
+    /// fingerprint composed with the layer's shape fingerprint (the layer
+    /// *name* is excluded, so repeated shapes share an entry).
+    pub fn layer_key(&self, layer: &SchedLayer) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.fingerprint());
+        layer.fingerprint_into(&mut h);
+        h.finish()
+    }
+
+    /// Schedules one layer through `cache`: a hit returns the finished
+    /// search with this layer's name patched in; a miss runs
+    /// [`Self::schedule_layer`] and stores the result.
+    pub fn schedule_layer_memo(&self, layer: &SchedLayer, cache: &ScheduleCache) -> LayerSchedule {
+        let key = self.layer_key(layer);
+        if let Some(mut hit) = cache.get(key) {
+            hit.sim.layer = layer.name.clone();
+            return hit;
+        }
+        let result = self.schedule_layer(layer);
+        cache.insert(key, result.clone());
+        result
     }
 
     /// Schedules every CONV layer of a network, then applies inter-layer
@@ -182,6 +335,75 @@ impl Scheduler {
         let mut layers: Vec<LayerSchedule> = net
             .conv_layers()
             .map(|c| self.schedule_layer(&SchedLayer::from_conv(c)))
+            .collect();
+        if self.interlayer_forwarding {
+            self.apply_forwarding(net, &mut layers);
+        }
+        NetworkSchedule { network: net.name().to_string(), layers }
+    }
+
+    /// [`Self::schedule_network`] with every layer searched exhaustively
+    /// (no lower-bound pruning): the reference path for benchmarks and
+    /// determinism tests.
+    pub fn schedule_network_exhaustive(&self, net: &Network) -> NetworkSchedule {
+        let mut layers: Vec<LayerSchedule> = net
+            .conv_layers()
+            .map(|c| self.schedule_layer_exhaustive(&SchedLayer::from_conv(c)))
+            .collect();
+        if self.interlayer_forwarding {
+            self.apply_forwarding(net, &mut layers);
+        }
+        NetworkSchedule { network: net.name().to_string(), layers }
+    }
+
+    /// The parallel + memoized network engine. Produces a schedule
+    /// bit-identical to [`Self::schedule_network`]:
+    ///
+    /// * repeated layer shapes are deduplicated by [`Self::layer_key`] and
+    ///   searched once (ResNet-50 collapses 53 searches to ~half);
+    /// * the unique searches fan across `threads` workers (`0` = auto);
+    /// * with a `cache`, finished searches are reused across calls,
+    ///   networks, and design points.
+    ///
+    /// Determinism: unique shapes keep first-encounter order, workers
+    /// return results by input index, and forwarding runs serially after
+    /// assembly — no step depends on thread scheduling.
+    pub fn schedule_network_with(
+        &self,
+        net: &Network,
+        cache: Option<&ScheduleCache>,
+        threads: usize,
+    ) -> NetworkSchedule {
+        let threads = if threads == 0 { par::thread_count() } else { threads };
+        let layers_in: Vec<SchedLayer> = net.conv_layers().map(SchedLayer::from_conv).collect();
+
+        // Dedup repeated shapes, preserving first-encounter order.
+        let mut slot_by_key: HashMap<u64, usize> = HashMap::new();
+        let mut unique: Vec<&SchedLayer> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(layers_in.len());
+        for layer in &layers_in {
+            let key = self.layer_key(layer);
+            let next_slot = unique.len();
+            let slot = *slot_by_key.entry(key).or_insert(next_slot);
+            if slot == next_slot {
+                unique.push(layer);
+            }
+            slot_of.push(slot);
+        }
+
+        let searched: Vec<LayerSchedule> = par::par_map_with(&unique, threads, |l| match cache {
+            Some(c) => self.schedule_layer_memo(l, c),
+            None => self.schedule_layer(l),
+        });
+
+        let mut layers: Vec<LayerSchedule> = layers_in
+            .iter()
+            .zip(&slot_of)
+            .map(|(layer, &slot)| {
+                let mut sched = searched[slot].clone();
+                sched.sim.layer = layer.name.clone();
+                sched
+            })
             .collect();
         if self.interlayer_forwarding {
             self.apply_forwarding(net, &mut layers);

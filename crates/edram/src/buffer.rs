@@ -5,12 +5,11 @@
 //! to outputs, WD layers to weights. A unified buffer lets the data mapping
 //! be adjusted between layers instead of fixing per-type buffer capacities.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Range;
 
 /// The three on-chip data types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// Input feature maps.
     Input,
@@ -36,7 +35,7 @@ impl fmt::Display for DataType {
 }
 
 /// Bank ranges assigned to each data type for one layer.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BankAllocation {
     /// Banks holding inputs.
     pub input_banks: Range<usize>,
@@ -110,7 +109,7 @@ impl std::error::Error for AllocError {}
 /// assert!(alloc.banks(DataType::Output).len() >= 13);
 /// assert_eq!(alloc.unused_banks(), 44 - 7 - 13 - 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UnifiedBuffer {
     num_banks: usize,
     bank_words: usize,

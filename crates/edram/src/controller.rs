@@ -10,7 +10,6 @@
 //! tolerable retention time.
 
 use crate::bank::EdramArray;
-use serde::{Deserialize, Serialize};
 
 /// Programmable divider turning the accelerator reference clock into the
 /// refresh pulse.
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(div.ratio(), 146_800);
 /// assert!((div.pulse_period_us(200e6) - 734.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClockDivider {
     ratio: u64,
 }
@@ -55,7 +54,7 @@ impl ClockDivider {
 }
 
 /// Which banks a refresh pulse touches.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RefreshPolicy {
     /// Conventional eDRAM: every bank refreshed at every pulse, whether it
     /// stores data or not.
@@ -104,7 +103,7 @@ impl RefreshPolicy {
 }
 
 /// A refresh controller: pulse interval plus per-pulse bank policy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RefreshConfig {
     /// Pulse period in µs (= the tolerable retention time).
     pub interval_us: f64,

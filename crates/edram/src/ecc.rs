@@ -15,7 +15,6 @@
 //!
 //! The `exp_ablation` binary quantifies the trade.
 
-use serde::{Deserialize, Serialize};
 
 /// Bits per coded word: 16 data + 5 Hamming + 1 overall parity.
 pub const CODE_BITS: u32 = 22;
@@ -24,7 +23,7 @@ pub const CODE_BITS: u32 = 22;
 pub const OVERHEAD: f64 = (CODE_BITS as f64 - 16.0) / 16.0;
 
 /// Outcome of decoding a possibly corrupted code word.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Decoded {
     /// No error detected.
     Clean(u16),

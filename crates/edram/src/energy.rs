@@ -1,6 +1,5 @@
 //! 65 nm energy and area constants (paper Tables II and III).
 
-use serde::{Deserialize, Serialize};
 
 /// Per-operation energy costs in picojoules, per 16-bit word
 /// (paper Table III).
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// // Off-chip access costs three orders of magnitude more than a MAC.
 /// assert!(e.ddr_access_pj / e.mac_pj > 1000.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyCosts {
     /// 16-bit fixed-point multiply-accumulate.
     pub mac_pj: f64,
@@ -56,7 +55,7 @@ impl Default for EnergyCosts {
 }
 
 /// On-chip buffer technology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BufferTech {
     /// Latch-based static RAM: larger, no refresh.
     Sram,
@@ -65,7 +64,7 @@ pub enum BufferTech {
 }
 
 /// Characteristics of a 32 KB array in 65 nm (paper Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryCharacteristics {
     /// Technology.
     pub tech: BufferTech,

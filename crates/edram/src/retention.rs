@@ -10,7 +10,6 @@
 //! Between anchors the model interpolates linearly in log-log space.
 
 use rand::RngExt;
-use serde::{Deserialize, Serialize};
 
 /// Cumulative retention-time distribution of an eDRAM array.
 ///
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// let t = d.tolerable_retention_us(1e-5);
 /// assert!((t - 734.0).abs() < 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RetentionDistribution {
     /// `(retention_us, cumulative_failure_rate)` anchors, strictly
     /// increasing in both coordinates.

@@ -1,10 +1,9 @@
 //! Access counters for memory models.
 
-use serde::{Deserialize, Serialize};
 use std::ops::AddAssign;
 
 /// Counters accumulated by a memory model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MemoryStats {
     /// Word reads.
     pub reads: u64,

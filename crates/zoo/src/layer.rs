@@ -4,7 +4,6 @@
 //! feature maps, convolves them with `M` kernels of `N×K×K` at stride `S`,
 //! and produces `M×R×C` output maps.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Shape of one convolutional layer.
@@ -21,7 +20,7 @@ use std::fmt;
 /// assert_eq!((a.out_h(), a.out_w()), (14, 14));
 /// assert_eq!(a.macs(), 1024 * 512 * 14 * 14);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ConvShape {
     /// Layer name (e.g. `"conv4_2"`, `"res4a_branch1"`).
     pub name: String,
@@ -183,7 +182,7 @@ impl fmt::Display for ConvShape {
 
 /// Shape of a pooling layer (carried for storage statistics only; RANA does
 /// not schedule pooling layers separately, they execute inside the PEs).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PoolShape {
     /// Layer name.
     pub name: String,
@@ -235,7 +234,7 @@ impl PoolShape {
 
 /// A network layer: either a scheduled CONV layer or a pass-through pooling
 /// layer.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum LayerKind {
     /// Convolutional layer, scheduled by RANA.
     Conv(ConvShape),
@@ -244,7 +243,7 @@ pub enum LayerKind {
 }
 
 /// A named layer of a [`crate::Network`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Layer {
     /// The layer's shape and kind.
     pub kind: LayerKind,

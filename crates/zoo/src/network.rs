@@ -1,7 +1,6 @@
 //! Network container: an ordered list of named layers.
 
 use crate::layer::{ConvShape, Layer};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An ordered CNN description.
@@ -15,7 +14,7 @@ use std::fmt;
 /// let layer_b = net.conv("conv4_2").unwrap(); // the paper's Layer-B
 /// assert_eq!(layer_b.in_ch, 512);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Network {
     name: String,
     layers: Vec<Layer>,

@@ -17,7 +17,7 @@ use rana_repro::edram::{RefreshConfig, RetentionDistribution};
 use rana_repro::fixq::QFormat;
 use rana_repro::nn::data::{SyntheticDataset, IMG};
 use rana_repro::nn::layers::{Conv2d, Layer, Linear, MaxPool2d, Relu, SoftmaxCrossEntropy};
-use rana_repro::nn::{FaultContext, Tensor};
+use rana_repro::nn::FaultContext;
 
 fn main() {
     // ---- train a small CNN on the host -------------------------------

@@ -1,0 +1,23 @@
+# `just check` = the PR gate: tier-1 tests + the scheduler benchmark.
+
+# Build, run tier-1 tests, then the scheduler-engine benchmark.
+check:
+    ./scripts/check.sh
+
+# Build everything in release mode.
+build:
+    cargo build --release --workspace
+
+# Tier-1 test suite only.
+test:
+    cargo test -q
+
+# Scheduler-engine benchmark only (writes results/BENCH_sched.json).
+bench-sched:
+    cargo build --release -p rana-bench
+    ./target/release/exp_bench_sched
+
+# Every paper experiment in order.
+experiments:
+    cargo build --release -p rana-bench
+    ./target/release/exp_all

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate + scheduler benchmark: everything a PR must keep green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tier-1 tests =="
+cargo test -q
+
+echo "== scheduler engine benchmark =="
+./target/release/exp_bench_sched
+
+echo "All checks passed."

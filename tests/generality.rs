@@ -3,7 +3,7 @@
 //! scheduler on a non-paper accelerator geometry.
 
 use rana_repro::accel::config::PeOrganization;
-use rana_repro::accel::{AcceleratorConfig, BufferConfig, ControllerKind, Pattern, RefreshModel};
+use rana_repro::accel::{AcceleratorConfig, BufferConfig, ControllerKind, RefreshModel};
 use rana_repro::core::scheduler::Scheduler;
 use rana_repro::core::{designs::Design, evaluate::Evaluator};
 use rana_repro::edram::energy::BufferTech;
@@ -119,6 +119,6 @@ fn mobilenet_compiles_with_the_cli_entrypoints() {
     let refresh = design.refresh_model(eval.retention());
     let lw = LayerwiseConfig::generate(&result.schedule, eval.edram_config(), &refresh);
     assert_eq!(lw.layers.len(), 27);
-    let json = serde_json::to_string(&lw).expect("serializes");
+    let json = lw.to_json();
     assert!(json.contains("conv14_pw"));
 }

@@ -1,0 +1,143 @@
+//! Determinism of the parallel + memoized scheduling engine: every fast
+//! path (pruned scan, parallel candidate fold, shape-deduplicated network
+//! engine, warm cache) must return schedules *identical* to the serial
+//! exhaustive reference — pattern, tiling, energy, traffic, everything.
+
+use rana_repro::accel::{AcceleratorConfig, RefreshModel, SchedLayer};
+use rana_repro::core::designs::Design;
+use rana_repro::core::evaluate::Evaluator;
+use rana_repro::core::par::ScheduleCache;
+use rana_repro::core::scheduler::{NetworkSchedule, Scheduler};
+use rana_repro::zoo;
+
+fn rana_scheduler() -> Scheduler {
+    Scheduler::rana(AcceleratorConfig::paper_edram(), RefreshModel::conventional_45us())
+}
+
+fn assert_schedules_identical(a: &NetworkSchedule, b: &NetworkSchedule, what: &str) {
+    assert_eq!(a.layers.len(), b.layers.len(), "{what}: layer count");
+    for (x, y) in a.layers.iter().zip(&b.layers) {
+        assert_eq!(x.sim.layer, y.sim.layer, "{what}: layer name");
+        assert_eq!(x.sim.pattern, y.sim.pattern, "{what}: pattern of {}", x.sim.layer);
+        assert_eq!(x.sim.tiling, y.sim.tiling, "{what}: tiling of {}", x.sim.layer);
+        assert_eq!(x.sim.cycles, y.sim.cycles, "{what}: cycles of {}", x.sim.layer);
+        assert_eq!(x.sim.traffic, y.sim.traffic, "{what}: traffic of {}", x.sim.layer);
+        assert_eq!(x.refresh_words, y.refresh_words, "{what}: refresh of {}", x.sim.layer);
+        // Energies are computed (not accumulated) per layer, so they must
+        // be bit-identical, not merely close.
+        assert!(
+            x.energy == y.energy,
+            "{what}: energy of {} differs: {:?} vs {:?}",
+            x.sim.layer,
+            x.energy,
+            y.energy
+        );
+    }
+    assert_eq!(a, b, "{what}: full schedule equality");
+}
+
+/// Pruned serial scan == exhaustive scan, parallel fold == exhaustive
+/// scan, on every CONV layer of all four benchmarks.
+#[test]
+fn layer_search_paths_agree_on_all_networks() {
+    let sched = rana_scheduler();
+    for net in zoo::benchmarks() {
+        for conv in net.conv_layers() {
+            let layer = SchedLayer::from_conv(conv);
+            let reference = sched.schedule_layer_exhaustive(&layer);
+            let pruned = sched.schedule_layer(&layer);
+            assert_eq!(pruned, reference, "pruned vs exhaustive on {}", layer.name);
+            let parallel = sched.schedule_layer_par(&layer, 4);
+            assert_eq!(parallel, reference, "parallel vs exhaustive on {}", layer.name);
+        }
+    }
+}
+
+/// The network engine (dedup + worker pool + cache) returns schedules
+/// identical to the serial exhaustive path on all four zoo networks.
+#[test]
+fn network_engine_matches_serial_on_all_networks() {
+    let sched = rana_scheduler();
+    let cache = ScheduleCache::new();
+    for net in zoo::benchmarks() {
+        let serial = sched.schedule_network_exhaustive(&net);
+        let plain = sched.schedule_network(&net);
+        assert_schedules_identical(&plain, &serial, &format!("{} pruned", net.name()));
+        let engine = sched.schedule_network_with(&net, Some(&cache), 4);
+        assert_schedules_identical(&engine, &serial, &format!("{} engine", net.name()));
+    }
+    assert!(cache.hits() > 0, "repeated shapes across the zoo must hit the cache");
+}
+
+/// A warm second run over a populated cache returns exactly the cold
+/// run's schedule (names patched per layer, everything else shared).
+#[test]
+fn memoized_warm_run_matches_cold_run() {
+    let sched = rana_scheduler();
+    let cache = ScheduleCache::new();
+    let net = zoo::resnet50();
+    let cold = sched.schedule_network_with(&net, Some(&cache), 2);
+    let misses_after_cold = cache.misses();
+    let warm = sched.schedule_network_with(&net, Some(&cache), 2);
+    assert_schedules_identical(&warm, &cold, "warm vs cold");
+    assert_eq!(cache.misses(), misses_after_cold, "warm run must not miss");
+    assert!(cache.hits() > 0);
+}
+
+/// Cache keys must separate scheduling contexts: the same network under
+/// different refresh models may not share entries, and the schedules stay
+/// correct when one cache serves several design points.
+#[test]
+fn shared_cache_across_design_points_stays_correct() {
+    let eval = Evaluator::paper_platform();
+    let net = zoo::vgg16();
+    for design in [Design::EdOd, Design::Rana0, Design::RanaE5, Design::RanaStarE5] {
+        let scheduler = eval.scheduler_for(design);
+        let reference = scheduler.schedule_network_exhaustive(&net);
+        let through_cache = eval.evaluate(&net, design);
+        assert_schedules_identical(
+            &through_cache.schedule,
+            &reference,
+            &format!("{} via shared cache", design.label()),
+        );
+    }
+}
+
+/// The bandwidth-constrained scheduler (where pruning is disabled) also
+/// agrees across paths.
+#[test]
+fn bandwidth_constrained_paths_agree() {
+    let mut sched = rana_scheduler();
+    sched.bandwidth = Some(rana_repro::accel::dram::Ddr3Model::ddr3_1600().scaled(0.1));
+    let net = zoo::vgg16();
+    for conv in net.conv_layers() {
+        let layer = SchedLayer::from_conv(conv);
+        let reference = sched.schedule_layer_exhaustive(&layer);
+        assert_eq!(sched.schedule_layer(&layer), reference, "{}", layer.name);
+        assert_eq!(sched.schedule_layer_par(&layer, 3), reference, "{}", layer.name);
+    }
+}
+
+/// `evaluate_many` equals point-by-point `evaluate` (same order, same
+/// numbers) — the bench binaries rely on this when they fan out.
+#[test]
+fn evaluate_many_matches_pointwise() {
+    let eval = Evaluator::paper_platform();
+    let alex = zoo::alexnet();
+    let vgg = zoo::vgg16();
+    let points = [
+        (&alex, Design::SId),
+        (&alex, Design::RanaStarE5),
+        (&vgg, Design::EdOd),
+        (&vgg, Design::Rana0),
+    ];
+    let fanned = eval.evaluate_many(&points);
+    // A fresh evaluator (fresh cache) must agree with the shared-cache run.
+    let fresh = Evaluator::paper_platform();
+    for ((net, design), got) in points.iter().zip(&fanned) {
+        let expect = fresh.evaluate(net, *design);
+        assert_eq!(got.network, expect.network);
+        assert_eq!(got.design, expect.design);
+        assert_schedules_identical(&got.schedule, &expect.schedule, &expect.design);
+    }
+}
