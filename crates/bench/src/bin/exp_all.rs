@@ -23,6 +23,7 @@ fn main() {
         ("exp_ablation", &[]),
         ("exp_sensitivity", &[]),
         ("exp_bench_sched", &[]),
+        ("exp_thermal", &[]),
     ];
     for (name, args) in experiments {
         let status = Command::new(dir.join(name))

@@ -8,7 +8,7 @@
 //! controller.
 
 use crate::scheduler::NetworkSchedule;
-use rana_accel::{AcceleratorConfig, RefreshModel};
+use rana_accel::{AcceleratorConfig, LayerSim, RefreshModel};
 use rana_edram::{BankAllocation, ClockDivider, DataType, UnifiedBuffer};
 
 /// Configuration of one layer.
@@ -23,6 +23,37 @@ pub struct LayerConfig {
     pub allocation: Option<BankAllocation>,
     /// Per-bank refresh flags for the refresh-optimized controller.
     pub refresh_flags: Vec<bool>,
+}
+
+impl LayerConfig {
+    /// Generates one layer's configuration: the unified-buffer bank
+    /// allocation and the per-bank refresh flags under `refresh`. This is
+    /// the per-layer core of [`LayerwiseConfig::generate`], exposed so the
+    /// thermal-adaptive runtime can recompute flags when the refresh
+    /// interval changes mid-network.
+    pub fn for_sim(sim: &LayerSim, cfg: &AcceleratorConfig, refresh: &RefreshModel) -> Self {
+        let buffer = UnifiedBuffer::new(cfg.buffer.num_banks, cfg.buffer.bank_words);
+        let allocation = buffer
+            .allocate(sim.storage.input_words, sim.storage.output_words, sim.storage.weight_words)
+            .ok();
+        let needy = refresh.needy_types(sim);
+        let refresh_flags = match &allocation {
+            Some(alloc) => alloc.refresh_flags(|ty| match ty {
+                DataType::Input => needy[0],
+                DataType::Output => needy[1],
+                DataType::Weight => needy[2],
+            }),
+            // Overflowing layers stream through all banks: flag
+            // everything if anything needs retention.
+            None => vec![needy.iter().any(|&n| n); cfg.buffer.num_banks],
+        };
+        Self {
+            layer: sim.layer.clone(),
+            pattern: format!("<{},{}>", sim.pattern, sim.tiling),
+            allocation,
+            refresh_flags,
+        }
+    }
 }
 
 /// The full compilation output for one network on one accelerator.
@@ -41,35 +72,9 @@ pub struct LayerwiseConfig {
 impl LayerwiseConfig {
     /// Generates the configurations from a schedule.
     pub fn generate(schedule: &NetworkSchedule, cfg: &AcceleratorConfig, refresh: &RefreshModel) -> Self {
-        let buffer = UnifiedBuffer::new(cfg.buffer.num_banks, cfg.buffer.bank_words);
         let divider = ClockDivider::for_interval(cfg.frequency_hz, refresh.interval_us);
-        let layers = schedule
-            .layers
-            .iter()
-            .map(|l| {
-                let s = &l.sim;
-                let allocation = buffer
-                    .allocate(s.storage.input_words, s.storage.output_words, s.storage.weight_words)
-                    .ok();
-                let needy = refresh.needy_types(s);
-                let refresh_flags = match &allocation {
-                    Some(alloc) => alloc.refresh_flags(|ty| match ty {
-                        DataType::Input => needy[0],
-                        DataType::Output => needy[1],
-                        DataType::Weight => needy[2],
-                    }),
-                    // Overflowing layers stream through all banks: flag
-                    // everything if anything needs retention.
-                    None => vec![needy.iter().any(|&n| n); cfg.buffer.num_banks],
-                };
-                LayerConfig {
-                    layer: s.layer.clone(),
-                    pattern: format!("<{},{}>", s.pattern, s.tiling),
-                    allocation,
-                    refresh_flags,
-                }
-            })
-            .collect();
+        let layers =
+            schedule.layers.iter().map(|l| LayerConfig::for_sim(&l.sim, cfg, refresh)).collect();
         Self {
             network: schedule.network.clone(),
             tolerable_retention_us: refresh.interval_us,
@@ -157,7 +162,7 @@ impl LayerwiseConfig {
 }
 
 /// Escapes a string as a JSON string literal.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -176,7 +181,7 @@ fn json_string(s: &str) -> String {
 }
 
 /// Formats an f64 so it round-trips as a JSON number.
-fn json_f64(x: f64) -> String {
+pub(crate) fn json_f64(x: f64) -> String {
     if x.is_finite() {
         let s = format!("{x}");
         // Bare integers are valid JSON numbers, keep them short.

@@ -33,6 +33,7 @@
 //! assert!(sram.total.refresh_j == 0.0);
 //! ```
 
+pub mod adaptive;
 pub mod config_gen;
 pub mod designs;
 pub mod energy;
@@ -43,6 +44,9 @@ pub mod runtime;
 pub mod scheduler;
 pub mod training_stage;
 
+pub use adaptive::{
+    AdaptiveConfig, AdaptiveReport, AdaptiveRuntime, FallbackPolicy, Scenario, ValidationSummary,
+};
 pub use designs::Design;
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use evaluate::{Evaluator, NetworkEnergy};

@@ -201,7 +201,8 @@ mod tests {
             for k in 0..spins {
                 acc = acc.wrapping_add(k as u64 ^ acc.rotate_left(7));
             }
-            i + (acc % 1) as usize // == i, but the spin loop cannot be optimized out
+            std::hint::black_box(acc); // the spin loop cannot be optimized out
+            i
         });
         assert_eq!(out, items);
     }

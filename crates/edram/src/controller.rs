@@ -76,7 +76,7 @@ impl RefreshPolicy {
             RefreshPolicy::Flagged(flags) => flags.get(bank).copied().unwrap_or(false),
             RefreshPolicy::BinnedMultiples(m) => match m.get(bank).copied().unwrap_or(0) {
                 0 => false,
-                mult => pulse % u64::from(mult) == 0,
+                mult => pulse.is_multiple_of(u64::from(mult)),
             },
         }
     }
@@ -158,17 +158,29 @@ impl RefreshConfig {
 /// issuer.advance(&mut mem, 1000.0); // data survives 1 ms under refresh
 /// assert_eq!(mem.read(0, 1000.0), 42);
 /// ```
+/// Pulse timing is *phase-based*: the issuer remembers the time of the
+/// last pulse and fires the next one `interval` later, rather than on a
+/// global grid of interval multiples. The two are identical while the
+/// interval never changes (pulses at `k·interval`), but phase tracking is
+/// what makes [`retune`](RefreshIssuer::retune) sound: a divider change
+/// mid-pass re-derives the next due time from the last actual recharge, so
+/// no pulse is skipped or double-issued across the change.
 #[derive(Debug, Clone)]
 pub struct RefreshIssuer {
     config: RefreshConfig,
     now_us: f64,
     issued_words: u64,
+    /// Time of the most recent pulse (0 before any — data written at t=0 is
+    /// first due one interval later, matching the global-grid behavior).
+    last_pulse_us: f64,
+    /// Pulses issued so far (the 1-based index binned policies consult).
+    pulse_seq: u64,
 }
 
 impl RefreshIssuer {
     /// Creates an issuer at time zero.
     pub fn new(config: RefreshConfig) -> Self {
-        Self { config, now_us: 0.0, issued_words: 0 }
+        Self { config, now_us: 0.0, issued_words: 0, last_pulse_us: 0.0, pulse_seq: 0 }
     }
 
     /// Current time in µs.
@@ -181,29 +193,61 @@ impl RefreshIssuer {
         self.issued_words
     }
 
+    /// Total pulses issued so far.
+    pub fn pulses_issued(&self) -> u64 {
+        self.pulse_seq
+    }
+
+    /// Current pulse period in µs.
+    pub fn interval_us(&self) -> f64 {
+        self.config.interval_us
+    }
+
     /// Replaces the per-bank flags (loaded between layers from the layerwise
     /// configuration).
     pub fn load_flags(&mut self, flags: Vec<bool>) {
         self.config.policy = RefreshPolicy::Flagged(flags);
     }
 
+    /// Changes the pulse period mid-run (the adaptive runtime reprogramming
+    /// the clock divider). The next pulse falls due `interval_us` after the
+    /// *last issued pulse* — never later than the data's new retention
+    /// budget allows, and never re-covering time a pulse already covered —
+    /// so shortening the period cannot skip a due refresh and lengthening
+    /// it cannot double-issue one.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `interval_us` is positive.
+    pub fn retune(&mut self, interval_us: f64) {
+        assert!(interval_us > 0.0, "pulse period must be positive, got {interval_us}");
+        self.config.interval_us = interval_us;
+    }
+
     /// Advances time to `to_us`, refreshing eligible banks at every pulse
-    /// (binned banks only on their own multiples).
+    /// (binned banks only on their own multiples). Pulses fire one interval
+    /// after the previous pulse; a pulse already overdue at the current
+    /// time (possible right after shortening the period with
+    /// [`retune`](Self::retune)) is issued once at the current time and the
+    /// phase re-anchors there — the recharge happens *now*, so the next one
+    /// is due an interval from now, not a burst of grid catch-ups.
     ///
     /// # Panics
     ///
     /// Panics if time would run backwards.
     pub fn advance(&mut self, mem: &mut EdramArray, to_us: f64) {
         assert!(to_us >= self.now_us, "time must be monotone");
-        let interval = self.config.interval_us;
-        let pulses: Vec<f64> = self.config.pulses_between(self.now_us, to_us).collect();
-        for pulse in pulses {
-            let pulse_idx = (pulse / interval).round() as u64;
+        while self.last_pulse_us + self.config.interval_us <= to_us {
+            let due = self.last_pulse_us + self.config.interval_us;
+            let pulse_t = due.max(self.now_us);
+            self.pulse_seq += 1;
             for bank in 0..mem.num_banks() {
-                if self.config.policy.refreshes_at(bank, pulse_idx) {
-                    self.issued_words += mem.refresh_bank(bank, pulse) as u64;
+                if self.config.policy.refreshes_at(bank, self.pulse_seq) {
+                    self.issued_words += mem.refresh_bank(bank, pulse_t) as u64;
                 }
             }
+            self.last_pulse_us = pulse_t;
+            self.now_us = self.now_us.max(pulse_t);
         }
         self.now_us = to_us;
     }
@@ -320,6 +364,128 @@ mod tests {
         let pulses = (5000.0f64 / 45.0).floor() as u64;
         assert!(total < pulses * 128, "binning must save refreshes: {total}");
         assert!(total > pulses * 64, "bank 0 alone accounts for {}", pulses * 64);
+    }
+
+    #[test]
+    fn divider_interval_shorter_than_one_ref_period_clamps_to_one() {
+        // 1 MHz reference = 1 µs per cycle; a 0.4 µs request cannot be
+        // realized and clamps to ratio 1 (refreshing early, never late).
+        let d = ClockDivider::for_interval(1e6, 0.4);
+        assert_eq!(d.ratio(), 1);
+        assert!((d.pulse_period_us(1e6) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divider_non_integer_ratio_rounds_down() {
+        // 1 MHz × 2.7 µs = 2.7 cycles -> ratio 2: the realized period
+        // (2 µs) is never longer than requested.
+        let d = ClockDivider::for_interval(1e6, 2.7);
+        assert_eq!(d.ratio(), 2);
+        assert!(d.pulse_period_us(1e6) <= 2.7);
+        // Fractional reference clocks floor the same way.
+        let d = ClockDivider::for_interval(333_333.0, 45.0);
+        assert_eq!(d.ratio(), 14);
+        assert!(d.pulse_period_us(333_333.0) <= 45.0);
+    }
+
+    /// Pulses issued so far, measured through a 1-bank fully-written
+    /// memory: every pulse refreshes exactly `bank_words` words.
+    fn pulse_probe() -> (EdramArray, usize) {
+        let words = 32;
+        let mut mem = EdramArray::new(1, words, RetentionDistribution::kong2008(), 3);
+        for i in 0..words {
+            mem.write(i, 1, 0.0);
+        }
+        (mem, words)
+    }
+
+    #[test]
+    fn retune_longer_does_not_double_issue() {
+        let (mut mem, words) = pulse_probe();
+        let mut issuer = RefreshIssuer::new(RefreshConfig::conventional(50.0));
+        issuer.advance(&mut mem, 120.0); // pulses at 50, 100
+        assert_eq!(issuer.pulses_issued(), 2);
+        issuer.retune(200.0);
+        // Next pulse due 200 µs after the last one (t=100), i.e. at 300 —
+        // not re-issued at 200 (the new grid) or at 250 (now + interval).
+        issuer.advance(&mut mem, 299.0);
+        assert_eq!(issuer.pulses_issued(), 2, "no pulse may fire before 300");
+        issuer.advance(&mut mem, 300.0);
+        assert_eq!(issuer.pulses_issued(), 3);
+        assert_eq!(issuer.issued_words(), 3 * words as u64);
+    }
+
+    #[test]
+    fn retune_shorter_does_not_skip_a_due_pulse() {
+        let (mut mem, _) = pulse_probe();
+        let mut issuer = RefreshIssuer::new(RefreshConfig::conventional(100.0));
+        issuer.advance(&mut mem, 250.0); // pulses at 100, 200
+        assert_eq!(issuer.pulses_issued(), 2);
+        issuer.retune(50.0);
+        // Data last recharged at t=200 must be covered again by t=250:
+        // the pulse fires exactly once, at the retune-adjusted due time.
+        issuer.advance(&mut mem, 260.0);
+        assert_eq!(issuer.pulses_issued(), 3);
+        issuer.advance(&mut mem, 310.0); // next at 300 (250 + 50)
+        assert_eq!(issuer.pulses_issued(), 4);
+    }
+
+    #[test]
+    fn retune_overdue_pulse_fires_once_and_reanchors() {
+        let (mut mem, _) = pulse_probe();
+        let mut issuer = RefreshIssuer::new(RefreshConfig::conventional(1000.0));
+        issuer.advance(&mut mem, 500.0); // no pulses yet
+        assert_eq!(issuer.pulses_issued(), 0);
+        issuer.retune(100.0);
+        // Nominal due time (0 + 100) is long past: exactly one catch-up
+        // pulse at now, then the phase re-anchors — pulses at 500 (clamped),
+        // 600, 700, 800. A grid-based issuer would burst 100..500 at once.
+        issuer.advance(&mut mem, 550.0);
+        assert_eq!(issuer.pulses_issued(), 1);
+        issuer.advance(&mut mem, 800.0);
+        assert_eq!(issuer.pulses_issued(), 4);
+    }
+
+    #[test]
+    fn retune_mid_pass_keeps_data_alive() {
+        // Sharp knee at 100 µs: a 45 µs issuer retuned to 90 µs mid-run
+        // must leave no gap > 100 µs between recharges.
+        let dist =
+            RetentionDistribution::from_anchors(vec![(100.0, 1e-7), (150.0, 1e-2), (1000.0, 1.0)])
+                .unwrap();
+        let mut mem = EdramArray::new(1, 64, dist, 17);
+        for i in 0..64 {
+            mem.write(i, 0x5A5A, 0.0);
+        }
+        let mut issuer = RefreshIssuer::new(RefreshConfig::conventional(45.0));
+        issuer.advance(&mut mem, 400.0);
+        issuer.retune(90.0);
+        issuer.advance(&mut mem, 2000.0);
+        for i in 0..64 {
+            assert_eq!(mem.read(i, 2000.0), 0x5A5A, "word {i} decayed across the retune");
+        }
+        // And the retune actually slowed the pulse rate: 8 pulses in the
+        // first 400 µs, then one per 90 µs.
+        let expected = 8 + ((2000.0 - 360.0) / 90.0) as u64;
+        assert_eq!(issuer.pulses_issued(), expected);
+    }
+
+    #[test]
+    fn unretuned_phase_matches_global_grid() {
+        // Split advances at awkward points: pulse count must equal the
+        // old global-grid behavior (floor(to/interval) pulses by `to`).
+        let (mut mem, _) = pulse_probe();
+        let mut issuer = RefreshIssuer::new(RefreshConfig::conventional(45.0));
+        for to in [10.0, 44.9, 45.0, 46.0, 200.0, 203.3, 1000.0] {
+            issuer.advance(&mut mem, to);
+            assert_eq!(issuer.pulses_issued(), (to / 45.0).floor() as u64, "at {to}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn retune_rejects_nonpositive_interval() {
+        RefreshIssuer::new(RefreshConfig::conventional(45.0)).retune(0.0);
     }
 
     #[test]

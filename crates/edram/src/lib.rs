@@ -19,6 +19,9 @@
 //!   RANA's refresh-optimized controller (§IV-D).
 //! * [`UnifiedBuffer`] — bank allocation for the unified buffer system that
 //!   lets data mapping change between OD and WD layers.
+//! * [`thermal`] — a lumped-RC die-temperature model closing the loop from
+//!   dissipated power to the temperature-scaled retention distribution
+//!   (the plant of `rana_core::adaptive`).
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ pub mod ecc;
 pub mod energy;
 pub mod retention;
 pub mod stats;
+pub mod thermal;
 
 pub use bank::EdramArray;
 pub use buffer::{BankAllocation, DataType, UnifiedBuffer};
@@ -48,3 +52,4 @@ pub use controller::{ClockDivider, RefreshConfig, RefreshPolicy};
 pub use energy::{EnergyCosts, MemoryCharacteristics};
 pub use retention::RetentionDistribution;
 pub use stats::MemoryStats;
+pub use thermal::{ThermalModel, TrajectoryPoint};

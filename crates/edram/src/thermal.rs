@@ -1,0 +1,174 @@
+//! Lumped-RC die-temperature model for the thermal-adaptive runtime.
+//!
+//! The retention distribution of Figure 8 is characterized at a fixed die
+//! temperature, but eDRAM leakage roughly doubles per +10 °C, collapsing
+//! every retention time by `2^(-ΔT/10)`
+//! ([`RetentionDistribution::at_temperature_delta`]). To close the loop
+//! between dissipated power and tolerable retention, this module models the
+//! die as a single thermal node: a lumped thermal resistance `R_ja` to
+//! ambient and a lumped heat capacity giving the time constant `τ = R·C`.
+//! Under constant power `P` the junction temperature relaxes exponentially
+//! towards the steady state `T_ss = T_ambient + R_ja·P`:
+//!
+//! ```text
+//! T(t + Δt) = T_ss + (T(t) − T_ss)·exp(−Δt/τ)
+//! ```
+//!
+//! The exact exponential step is unconditionally stable, so the adaptive
+//! runtime can take one step per layer regardless of the layer's duration.
+//! Per-layer power comes from the Eq. 14 accelerator energy (MAC + buffer +
+//! refresh; off-chip DRAM energy is dissipated off-die and excluded) divided
+//! by the layer's execution time.
+//!
+//! [`RetentionDistribution::at_temperature_delta`]:
+//! crate::RetentionDistribution::at_temperature_delta
+
+/// Lumped-RC thermal model of the accelerator die.
+///
+/// # Example
+///
+/// ```
+/// use rana_edram::thermal::ThermalModel;
+///
+/// let th = ThermalModel::embedded_65nm();
+/// // 0.25 W sustained: the die settles 10 °C above ambient.
+/// let ss = th.steady_state_c(0.25);
+/// assert!((ss - th.ambient_c - 10.0).abs() < 1e-9);
+/// // One time constant covers ~63% of the remaining gap.
+/// let t1 = th.step(th.ambient_c, 0.25, th.tau_us);
+/// let frac = (t1 - th.ambient_c) / (ss - th.ambient_c);
+/// assert!((frac - 0.632).abs() < 0.001);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    /// Ambient (package/board) temperature in °C.
+    pub ambient_c: f64,
+    /// Junction-to-ambient thermal resistance in °C/W.
+    pub r_ja_c_per_w: f64,
+    /// Thermal time constant `τ = R·C` in µs.
+    pub tau_us: f64,
+    /// Die temperature at which the retention distribution was
+    /// characterized, °C. Temperatures above it shrink retention by
+    /// `2^(-ΔT/10)`; below it, retention stretches.
+    pub characterization_c: f64,
+}
+
+impl ThermalModel {
+    /// Constants for a small embedded 65 nm die with board heat spreading
+    /// but no active cooling (DESIGN.md, "Thermal model constants"):
+    /// 45 °C ambient, 40 °C/W junction-to-ambient, 40 ms time constant,
+    /// retention characterized at the 45 °C ambient itself.
+    ///
+    /// `R_ja` matters for closed-loop stability: refresh power scales as
+    /// `1/interval` while tolerable retention shrinks as `2^(-ΔT/10)`, so a
+    /// large thermal resistance can leave the
+    /// refresh → heat → tighter-interval loop with no fixed point for
+    /// refresh-heavy (streaming) layers. 40 °C/W keeps the loop gain below
+    /// one across the zoo's worst layers.
+    pub fn embedded_65nm() -> Self {
+        Self {
+            ambient_c: 45.0,
+            r_ja_c_per_w: 40.0,
+            tau_us: 40_000.0,
+            characterization_c: 45.0,
+        }
+    }
+
+    /// Steady-state junction temperature under constant power `power_w`.
+    pub fn steady_state_c(&self, power_w: f64) -> f64 {
+        self.ambient_c + self.r_ja_c_per_w * power_w
+    }
+
+    /// Advances the junction temperature from `temp_c` over `dt_us` under
+    /// constant power `power_w`, using the exact exponential solution of
+    /// the single-node RC equation (stable for any step size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_us` is negative.
+    pub fn step(&self, temp_c: f64, power_w: f64, dt_us: f64) -> f64 {
+        assert!(dt_us >= 0.0, "time step must be non-negative, got {dt_us}");
+        let ss = self.steady_state_c(power_w);
+        ss + (temp_c - ss) * (-dt_us / self.tau_us).exp()
+    }
+
+    /// Temperature delta against the characterization point — the argument
+    /// for [`RetentionDistribution::at_temperature_delta`].
+    ///
+    /// [`RetentionDistribution::at_temperature_delta`]:
+    /// crate::RetentionDistribution::at_temperature_delta
+    pub fn delta_c(&self, temp_c: f64) -> f64 {
+        temp_c - self.characterization_c
+    }
+}
+
+/// One sample of a die-temperature trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Wall-clock time of the sample, µs.
+    pub t_us: f64,
+    /// Junction temperature at the sample, °C.
+    pub temp_c: f64,
+    /// Power dissipated over the interval ending at the sample, W.
+    pub power_w: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_is_ambient_plus_ir_drop() {
+        let th = ThermalModel::embedded_65nm();
+        assert_eq!(th.steady_state_c(0.0), th.ambient_c);
+        assert!((th.steady_state_c(0.5) - (45.0 + 20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_converges_to_steady_state() {
+        let th = ThermalModel::embedded_65nm();
+        let mut t = th.ambient_c;
+        for _ in 0..100 {
+            t = th.step(t, 0.3, th.tau_us);
+        }
+        assert!((t - th.steady_state_c(0.3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_step_is_identity() {
+        let th = ThermalModel::embedded_65nm();
+        assert_eq!(th.step(63.0, 0.4, 0.0), 63.0);
+    }
+
+    #[test]
+    fn cooling_decays_towards_ambient() {
+        let th = ThermalModel::embedded_65nm();
+        let hot = 80.0;
+        let cooled = th.step(hot, 0.0, th.tau_us);
+        let expected = th.ambient_c + (hot - th.ambient_c) * (-1.0f64).exp();
+        assert!((cooled - expected).abs() < 1e-9);
+        assert!(cooled < hot && cooled > th.ambient_c);
+    }
+
+    #[test]
+    fn exact_step_is_composable() {
+        // Two half steps equal one full step (exponential exactness).
+        let th = ThermalModel::embedded_65nm();
+        let a = th.step(50.0, 0.4, 10_000.0);
+        let b = th.step(th.step(50.0, 0.4, 5_000.0), 0.4, 5_000.0);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_is_relative_to_characterization() {
+        let th = ThermalModel::embedded_65nm();
+        assert_eq!(th.delta_c(th.characterization_c), 0.0);
+        assert_eq!(th.delta_c(th.characterization_c + 22.5), 22.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_step_panics() {
+        ThermalModel::embedded_65nm().step(50.0, 0.1, -1.0);
+    }
+}

@@ -95,7 +95,7 @@ impl FaultContext {
     pub fn corrupt(&mut self, t: &Tensor) -> Tensor {
         let call = self.calls;
         self.calls += 1;
-        let active = self.active_calls.as_ref().map_or(true, |r| r.contains(&call));
+        let active = self.active_calls.as_ref().is_none_or(|r| r.contains(&call));
         let mut q = QuantizedTensor::from_f32(t.data());
         if active && self.model.rate() > 0.0 {
             if self.ecc {

@@ -94,11 +94,15 @@ pub fn mobilenet_s(classes: usize, seed: u64) -> Sequential {
     net
 }
 
+/// Constructor signature shared by the mini benchmarks:
+/// `(classes, seed) -> network`.
+pub type ModelCtor = fn(usize, u64) -> Sequential;
+
 /// The four mini benchmarks with the names the paper uses, as
 /// `(name, constructor)` pairs.
-pub fn mini_benchmarks() -> Vec<(&'static str, fn(usize, u64) -> Sequential)> {
+pub fn mini_benchmarks() -> Vec<(&'static str, ModelCtor)> {
     vec![
-        ("AlexNet", alexnet_s as fn(usize, u64) -> Sequential),
+        ("AlexNet", alexnet_s as ModelCtor),
         ("VGG", vgg_s),
         ("GoogLeNet", googlenet_s),
         ("ResNet", resnet_s),

@@ -108,7 +108,7 @@ impl ConvShape {
     /// Panics unless `groups` divides both channel counts.
     pub fn with_groups(mut self, groups: usize) -> Self {
         assert!(
-            groups > 0 && self.in_ch % groups == 0 && self.out_ch % groups == 0,
+            groups > 0 && self.in_ch.is_multiple_of(groups) && self.out_ch.is_multiple_of(groups),
             "groups must divide in_ch and out_ch: {self:?}"
         );
         self.groups = groups;
@@ -310,8 +310,9 @@ mod tests {
         // §III-B1: Layer-A minimum buffer storage = 785 KB at Tm=Tn=Tr=Tc=1.
         let a = ConvShape::new("res4a_branch1", 512, 28, 28, 1024, 1, 2, 0);
         let bs_i = a.input_words() * 2; // bytes
-        let bs_o = (1 * 1 * 1) * 2u64; // Tm·Tr·Tc = 1
-        let bs_w = (512 * 1 * 1) as u64 * 2; // N·Tm·K²
+        let (tm, tr, tc, k) = (1u64, 1u64, 1u64, 1u64);
+        let bs_o = tm * tr * tc * 2; // bytes
+        let bs_w = 512 * tm * k * k * 2; // N·Tm·K² bytes
         let total_kb = (bs_i + bs_o + bs_w) as f64 / 1024.0;
         assert!((total_kb - 785.0).abs() < 1.0, "got {total_kb} KB");
     }

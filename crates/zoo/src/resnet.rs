@@ -10,6 +10,7 @@ use crate::network::Network;
 /// One bottleneck stage: `blocks` blocks of (1×1, 3×3, 1×1) convs, the first
 /// block carrying a 1×1 projection shortcut (`branch1`) and optionally a
 /// stride-2 downsample.
+#[allow(clippy::too_many_arguments)]
 fn stage(
     layers: &mut Vec<Layer>,
     stage_id: usize,
@@ -45,7 +46,7 @@ pub fn resnet50() -> Network {
 ///
 /// Panics unless `hw` is a positive multiple of 32.
 pub fn resnet50_with_input(hw: usize) -> Network {
-    assert!(hw > 0 && hw % 32 == 0, "ResNet input must be a positive multiple of 32, got {hw}");
+    assert!(hw > 0 && hw.is_multiple_of(32), "ResNet input must be a positive multiple of 32, got {hw}");
     let mut layers = vec![
         Layer::conv(ConvShape::new("conv1", 3, hw, hw, 64, 7, 2, 3)),
         Layer::pool(PoolShape::new("pool1", 64, hw / 2, hw / 2, 3, 2)),

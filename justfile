@@ -12,6 +12,10 @@ build:
 test:
     cargo test -q
 
+# Lint gate (same flags as `just check`).
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
 # Scheduler-engine benchmark only (writes results/BENCH_sched.json).
 bench-sched:
     cargo build --release -p rana-bench

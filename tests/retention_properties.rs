@@ -1,0 +1,100 @@
+//! Property-based tests of the retention distribution — the Stage-1 map
+//! between bit-failure rate and tolerable retention time that the
+//! thermal-adaptive runtime re-queries at every layer boundary.
+
+use proptest::prelude::*;
+use rana_repro::edram::RetentionDistribution;
+
+/// Relative-error helper for log-log interpolation round trips.
+fn rel_err(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `failure_rate` is a CDF: monotone non-decreasing in the age of the
+    /// data, at any operating temperature.
+    #[test]
+    fn failure_rate_is_monotone_in_time(
+        t0 in 1.0f64..25_000.0,
+        t1 in 1.0f64..25_000.0,
+        delta_c in -20.0f64..40.0,
+    ) {
+        let dist = RetentionDistribution::kong2008().at_temperature_delta(delta_c);
+        let (lo, hi) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
+        let (f_lo, f_hi) = (dist.failure_rate(lo), dist.failure_rate(hi));
+        prop_assert!(f_lo <= f_hi, "rate({lo}) = {f_lo:e} > rate({hi}) = {f_hi:e}");
+        prop_assert!((0.0..=1.0).contains(&f_lo) && (0.0..=1.0).contains(&f_hi));
+    }
+
+    /// Heating never helps: at a higher temperature the same age faults at
+    /// least as often (retention scales by `2^(-ΔT/10)`).
+    #[test]
+    fn failure_rate_is_monotone_in_temperature(
+        t in 1.0f64..25_000.0,
+        d0 in -20.0f64..40.0,
+        d1 in -20.0f64..40.0,
+    ) {
+        let base = RetentionDistribution::kong2008();
+        let (cold, hot) = if d0 <= d1 { (d0, d1) } else { (d1, d0) };
+        let f_cold = base.at_temperature_delta(cold).failure_rate(t);
+        let f_hot = base.at_temperature_delta(hot).failure_rate(t);
+        prop_assert!(f_cold <= f_hot, "{cold}C rate {f_cold:e} > {hot}C rate {f_hot:e}");
+    }
+
+    /// Round trip through the inverse: for any age inside the invertible
+    /// region (below the saturating last anchor),
+    /// `tolerable_retention_us(failure_rate(t)) ≈ t` — including at
+    /// elevated and depressed temperatures.
+    #[test]
+    fn tolerable_retention_inverts_failure_rate(
+        t in 5.0f64..19_000.0,
+        delta_c in -20.0f64..40.0,
+    ) {
+        let dist = RetentionDistribution::kong2008().at_temperature_delta(delta_c);
+        // Stay strictly below this distribution's saturation point.
+        let t_max = dist.tolerable_retention_us(1.0);
+        prop_assume!(t < 0.95 * t_max);
+        let rate = dist.failure_rate(t);
+        prop_assert!(rate > 0.0 && rate < 1.0);
+        let back = dist.tolerable_retention_us(rate);
+        prop_assert!(
+            rel_err(back, t) < 1e-9,
+            "t {t} -> rate {rate:e} -> t {back} (delta {delta_c}C)"
+        );
+    }
+
+    /// And the other direction: `failure_rate(tolerable_retention_us(r)) ≈ r`
+    /// for rates spanning the anchored range (log-uniform via the exponent).
+    #[test]
+    fn failure_rate_inverts_tolerable_retention(
+        log_rate in -6.5f64..-0.1,
+        delta_c in -20.0f64..40.0,
+    ) {
+        let rate = 10f64.powf(log_rate);
+        let dist = RetentionDistribution::kong2008().at_temperature_delta(delta_c);
+        let t = dist.tolerable_retention_us(rate);
+        prop_assert!(t > 0.0);
+        let back = dist.failure_rate(t);
+        prop_assert!(rel_err(back, rate) < 1e-9, "rate {rate:e} -> t {t} -> rate {back:e}");
+    }
+
+    /// Temperature scaling composes: scaling by `d` then `-d` is identity
+    /// on tolerable retention, and +10 °C exactly halves it.
+    #[test]
+    fn temperature_scaling_composes(log_rate in -5.5f64..-1.0, d in 0.0f64..30.0) {
+        let rate = 10f64.powf(log_rate);
+        let base = RetentionDistribution::kong2008();
+        let there_and_back = base.at_temperature_delta(d).at_temperature_delta(-d);
+        prop_assert!(rel_err(
+            there_and_back.tolerable_retention_us(rate),
+            base.tolerable_retention_us(rate),
+        ) < 1e-9);
+        let hot10 = base.at_temperature_delta(10.0);
+        prop_assert!(rel_err(
+            hot10.tolerable_retention_us(rate) * 2.0,
+            base.tolerable_retention_us(rate),
+        ) < 1e-9);
+    }
+}
