@@ -46,8 +46,7 @@ impl Bencher {
             for _ in 0..iters_per_sample {
                 black_box(f());
             }
-            self.samples_ns
-                .push(t0.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+            self.samples_ns.push(t0.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
         }
     }
 

@@ -269,7 +269,12 @@ pub fn storage_and_traffic(
 /// [`Tiling::fits_core`] — the analysis itself only checks the *buffer*
 /// capacity (overflow switches on the pattern's reload/spill traffic, it
 /// does not make the configuration invalid).
-pub fn analyze(layer: &SchedLayer, pattern: Pattern, tiling: Tiling, cfg: &AcceleratorConfig) -> LayerSim {
+pub fn analyze(
+    layer: &SchedLayer,
+    pattern: Pattern,
+    tiling: Tiling,
+    cfg: &AcceleratorConfig,
+) -> LayerSim {
     let t = tiling.clamped_to(layer);
     let g = layer.groups as u64;
     let k2 = (layer.k * layer.k) as u64;
@@ -392,7 +397,11 @@ mod tests {
         // §IV-C1: OD with Tm,Tn,Tc = 16, Tr = 1 gives LTo = 72 µs.
         let cfg = AcceleratorConfig::paper_edram();
         let sim = analyze(&layer_a(), Pattern::Od, Tiling::new(16, 16, 1, 16), &cfg);
-        assert!((sim.lifetimes.output_rewrite_us - 71.68).abs() < 0.5, "LTo {}", sim.lifetimes.output_rewrite_us);
+        assert!(
+            (sim.lifetimes.output_rewrite_us - 71.68).abs() < 0.5,
+            "LTo {}",
+            sim.lifetimes.output_rewrite_us
+        );
         assert_eq!(sim.lifetimes.input_us, sim.lifetimes.output_rewrite_us);
     }
 
@@ -411,7 +420,11 @@ mod tests {
         // to 645 µs.
         let cfg = AcceleratorConfig::paper_edram();
         let sim = analyze(&layer_b(), Pattern::Od, Tiling::new(16, 8, 1, 16), &cfg);
-        assert!((sim.lifetimes.output_rewrite_us - 645.12).abs() < 1.0, "LTo {}", sim.lifetimes.output_rewrite_us);
+        assert!(
+            (sim.lifetimes.output_rewrite_us - 645.12).abs() < 1.0,
+            "LTo {}",
+            sim.lifetimes.output_rewrite_us
+        );
     }
 
     #[test]

@@ -118,8 +118,7 @@ pub fn execute_layer(
     assert_eq!(weights.len(), layer.m * layer.n * layer.k * layer.k, "weight length mismatch");
 
     let t = tiling.clamped_to(layer);
-    let (n_words, w_words, o_words) =
-        (inputs.len(), weights.len(), layer.m * layer.r * layer.c);
+    let (n_words, w_words, o_words) = (inputs.len(), weights.len(), layer.m * layer.r * layer.c);
     let capacity = cfg.buffer.num_banks * cfg.buffer.bank_words;
     assert!(
         n_words + w_words + o_words <= capacity,
@@ -225,7 +224,11 @@ pub fn execute_layer(
                     };
                     for m in mlo..mhi {
                         let off = (m * layer.n + nlo) * k * k;
-                        mem.write_slice(w_base + off, &weights[off..off + (nhi - nlo) * k * k], now);
+                        mem.write_slice(
+                            w_base + off,
+                            &weights[off..off + (nhi - nlo) * k * k],
+                            now,
+                        );
                     }
                 }
 
@@ -248,8 +251,8 @@ pub fn execute_layer(
                         }
                     }
                 }
-                let prod_shift =
-                    i32::from(formats.input_frac) + i32::from(formats.weight_frac) - i32::from(formats.output_frac);
+                let prod_shift = i32::from(formats.input_frac) + i32::from(formats.weight_frac)
+                    - i32::from(formats.output_frac);
                 for m in m0..m0 + tm_e {
                     for oi in r0..r0 + tr_e {
                         for oj in c0..c0 + tc_e {
@@ -278,21 +281,24 @@ pub fn execute_layer(
                                         if ix < 0 || ix >= layer.l as isize {
                                             continue;
                                         }
-                                        let in_addr = (ch * layer.h + iy as usize) * layer.l + ix as usize;
+                                        let in_addr =
+                                            (ch * layer.h + iy as usize) * layer.l + ix as usize;
                                         let w_addr = ((m * layer.n + ch) * k + u) * k + v;
                                         let x = i64::from(mem.read(in_base + in_addr, end));
                                         let w = i64::from(mem.read(w_base + w_addr, end));
                                         let prod = x * w;
                                         acc += if prod_shift >= 0 {
                                             let half = 1i64 << (prod_shift - 1).max(0);
-                                            (prod + if prod_shift > 0 { half } else { 0 }) >> prod_shift
+                                            (prod + if prod_shift > 0 { half } else { 0 })
+                                                >> prod_shift
                                         } else {
                                             prod << (-prod_shift)
                                         };
                                     }
                                 }
                             }
-                            let clamped = acc.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16;
+                            let clamped =
+                                acc.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16;
                             match pattern {
                                 Pattern::Od => {
                                     // Partial written back every pass (the
@@ -348,12 +354,23 @@ fn tiles(dim: usize, t: usize) -> Vec<(usize, usize)> {
     v
 }
 
-fn iteration_cycles(cfg: &AcceleratorConfig, tn_e: usize, k2: u64, tm_e: usize, tr_e: usize, tc_e: usize) -> u64 {
+fn iteration_cycles(
+    cfg: &AcceleratorConfig,
+    tn_e: usize,
+    k2: u64,
+    tm_e: usize,
+    tr_e: usize,
+    tc_e: usize,
+) -> u64 {
     use crate::config::PeOrganization;
     let rows = (tm_e.div_ceil(cfg.pe_rows)) as u64;
     match cfg.organization {
-        PeOrganization::PixelColumns => tn_e as u64 * k2 * rows * ((tr_e * tc_e).div_ceil(cfg.pe_cols)) as u64,
-        PeOrganization::ChannelColumns => (tn_e.div_ceil(cfg.pe_cols)) as u64 * k2 * rows * (tr_e * tc_e) as u64,
+        PeOrganization::PixelColumns => {
+            tn_e as u64 * k2 * rows * ((tr_e * tc_e).div_ceil(cfg.pe_cols)) as u64
+        }
+        PeOrganization::ChannelColumns => {
+            (tn_e.div_ceil(cfg.pe_cols)) as u64 * k2 * rows * (tr_e * tc_e) as u64
+        }
     }
 }
 
@@ -406,10 +423,18 @@ mod tests {
                                 if ix < 0 || ix >= layer.l as isize {
                                     continue;
                                 }
-                                let x = i64::from(inputs[(ch * layer.h + iy as usize) * layer.l + ix as usize]);
-                                let w = i64::from(weights[((m * layer.n + ch) * layer.k + u) * layer.k + v]);
+                                let x = i64::from(
+                                    inputs[(ch * layer.h + iy as usize) * layer.l + ix as usize],
+                                );
+                                let w = i64::from(
+                                    weights[((m * layer.n + ch) * layer.k + u) * layer.k + v],
+                                );
                                 let prod = x * w;
-                                acc += if shift > 0 { (prod + (1 << (shift - 1))) >> shift } else { prod };
+                                acc += if shift > 0 {
+                                    (prod + (1 << (shift - 1))) >> shift
+                                } else {
+                                    prod
+                                };
                             }
                         }
                     }
@@ -429,7 +454,16 @@ mod tests {
         let golden = reference_conv(&layer, &inputs, &weights, f);
         for pattern in Pattern::ALL {
             for tiling in [Tiling::new(16, 16, 1, 16), Tiling::new(4, 2, 3, 5)] {
-                let r = execute_layer(&layer, pattern, tiling, &cfg, &inputs, &weights, f, &BufferModel::Ideal);
+                let r = execute_layer(
+                    &layer,
+                    pattern,
+                    tiling,
+                    &cfg,
+                    &inputs,
+                    &weights,
+                    f,
+                    &BufferModel::Ideal,
+                );
                 // Tiled accumulation order can differ by rounding of the
                 // per-product shift; with our integer shift applied per
                 // product identically, results are exact.
@@ -445,7 +479,16 @@ mod tests {
         let cfg = AcceleratorConfig::paper_edram();
         for pattern in Pattern::ALL {
             let tiling = Tiling::new(4, 2, 2, 4);
-            let r = execute_layer(&layer, pattern, tiling, &cfg, &inputs, &weights, Formats::default(), &BufferModel::Ideal);
+            let r = execute_layer(
+                &layer,
+                pattern,
+                tiling,
+                &cfg,
+                &inputs,
+                &weights,
+                Formats::default(),
+                &BufferModel::Ideal,
+            );
             let t = crate::trace::trace(&layer, pattern, tiling, &cfg);
             assert_eq!(r.cycles, t.cycles, "{pattern}");
         }
@@ -462,7 +505,16 @@ mod tests {
             seed: 7,
             refresh: Some(RefreshConfig::conventional(45.0)),
         };
-        let r = execute_layer(&layer, Pattern::Od, Tiling::new(16, 16, 1, 16), &cfg, &inputs, &weights, f, &model);
+        let r = execute_layer(
+            &layer,
+            Pattern::Od,
+            Tiling::new(16, 16, 1, 16),
+            &cfg,
+            &inputs,
+            &weights,
+            f,
+            &model,
+        );
         assert_eq!(r.outputs, golden, "45 us refresh must keep everything intact");
     }
 
@@ -474,12 +526,18 @@ mod tests {
         let cfg = AcceleratorConfig::paper_edram();
         let f = Formats::default();
         let golden = reference_conv(&layer, &inputs, &weights, f);
-        let model = BufferModel::Edram {
-            dist: RetentionDistribution::kong2008(),
-            seed: 7,
-            refresh: None,
-        };
-        let r = execute_layer(&layer, Pattern::Od, Tiling::new(16, 16, 1, 16), &cfg, &inputs, &weights, f, &model);
+        let model =
+            BufferModel::Edram { dist: RetentionDistribution::kong2008(), seed: 7, refresh: None };
+        let r = execute_layer(
+            &layer,
+            Pattern::Od,
+            Tiling::new(16, 16, 1, 16),
+            &cfg,
+            &inputs,
+            &weights,
+            f,
+            &model,
+        );
         // Layer time: well under 45 us.
         assert!(cfg.cycles_to_us(r.cycles) < 45.0);
         assert_eq!(r.outputs, golden);
@@ -500,7 +558,8 @@ mod tests {
     /// A sharp-knee retention curve: essentially fault-free below 100 µs,
     /// fully decayed beyond 1 ms. Makes corruption/rescue deterministic.
     fn sharp_dist() -> RetentionDistribution {
-        RetentionDistribution::from_anchors(vec![(100.0, 1e-7), (150.0, 1e-2), (1000.0, 1.0)]).unwrap()
+        RetentionDistribution::from_anchors(vec![(100.0, 1e-7), (150.0, 1e-2), (1000.0, 1.0)])
+            .unwrap()
     }
 
     #[test]
@@ -513,15 +572,37 @@ mod tests {
         let f = Formats::default();
         let golden = reference_conv(&layer, &inputs, &weights, f);
         let model = BufferModel::Edram { dist: sharp_dist(), seed: 7, refresh: None };
-        let r = execute_layer(&layer, Pattern::Id, Tiling::new(4, 4, 2, 2), &cfg, &inputs, &weights, f, &model);
+        let r = execute_layer(
+            &layer,
+            Pattern::Id,
+            Tiling::new(4, 4, 2, 2),
+            &cfg,
+            &inputs,
+            &weights,
+            f,
+            &model,
+        );
         assert!(cfg.cycles_to_us(r.cycles) > 1000.0, "layer should outlive the retention tail");
         assert!(r.faults > 0, "expected retention faults on a ms-long run");
         assert_ne!(r.outputs, golden);
 
         // And conventional refresh at 45 us rescues it (max unrefreshed
         // age ~81 us, well below the 100 us knee).
-        let model = BufferModel::Edram { dist: sharp_dist(), seed: 7, refresh: Some(RefreshConfig::conventional(45.0)) };
-        let r = execute_layer(&layer, Pattern::Id, Tiling::new(4, 4, 2, 2), &cfg, &inputs, &weights, f, &model);
+        let model = BufferModel::Edram {
+            dist: sharp_dist(),
+            seed: 7,
+            refresh: Some(RefreshConfig::conventional(45.0)),
+        };
+        let r = execute_layer(
+            &layer,
+            Pattern::Id,
+            Tiling::new(4, 4, 2, 2),
+            &cfg,
+            &inputs,
+            &weights,
+            f,
+            &model,
+        );
         assert_eq!(r.outputs, golden);
         assert!(r.refresh_words > 0);
     }
@@ -536,17 +617,36 @@ mod tests {
         let (layer, inputs, weights) = small_layer();
         let cfg = slow_cfg(1800.0);
         let f = Formats::default();
-        let dist = RetentionDistribution::from_anchors(vec![(30_000.0, 1e-7), (60_000.0, 1.0)]).unwrap();
+        let dist =
+            RetentionDistribution::from_anchors(vec![(30_000.0, 1e-7), (60_000.0, 1.0)]).unwrap();
         let golden = reference_conv(&layer, &inputs, &weights, f);
 
         let model = BufferModel::Edram { dist: dist.clone(), seed: 7, refresh: None };
-        let od = execute_layer(&layer, Pattern::Od, Tiling::new(6, 1, 8, 8), &cfg, &inputs, &weights, f, &model);
+        let od = execute_layer(
+            &layer,
+            Pattern::Od,
+            Tiling::new(6, 1, 8, 8),
+            &cfg,
+            &inputs,
+            &weights,
+            f,
+            &model,
+        );
         assert!(cfg.cycles_to_us(od.cycles) > 60_000.0, "layer must exceed the retention tail");
         assert_eq!(od.outputs, golden, "accumulation rewrites must act as refresh");
         assert_eq!(od.refresh_words, 0);
 
         let model = BufferModel::Edram { dist, seed: 7, refresh: None };
-        let id = execute_layer(&layer, Pattern::Id, Tiling::new(6, 1, 8, 8), &cfg, &inputs, &weights, f, &model);
+        let id = execute_layer(
+            &layer,
+            Pattern::Id,
+            Tiling::new(6, 1, 8, 8),
+            &cfg,
+            &inputs,
+            &weights,
+            f,
+            &model,
+        );
         assert_ne!(id.outputs, golden, "ID's whole-layer input lifetime must corrupt");
     }
 }

@@ -238,10 +238,8 @@ mod tests {
         // ResNet-50 repeats its block shapes: far fewer unique
         // fingerprints than layers.
         let net = resnet50();
-        let mut fps: Vec<u64> = net
-            .conv_layers()
-            .map(|c| SchedLayer::from_conv(c).fingerprint())
-            .collect();
+        let mut fps: Vec<u64> =
+            net.conv_layers().map(|c| SchedLayer::from_conv(c).fingerprint()).collect();
         let total = fps.len();
         fps.sort_unstable();
         fps.dedup();

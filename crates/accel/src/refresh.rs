@@ -81,11 +81,8 @@ pub fn layer_refresh_words(sim: &LayerSim, cfg: &AcceleratorConfig, model: &Refr
         ControllerKind::RefreshOptimized => {
             // Per-bank flags: only the banks allocated to needy data types.
             let bank = cfg.buffer.bank_words as u64;
-            let sizes = [
-                sim.storage.input_words,
-                sim.storage.output_words,
-                sim.storage.weight_words,
-            ];
+            let sizes =
+                [sim.storage.input_words, sim.storage.output_words, sim.storage.weight_words];
             let flagged_words: u64 = needy
                 .iter()
                 .zip(sizes)
@@ -157,7 +154,10 @@ mod tests {
         let w_conv = layer_refresh_words(&sim, &cfg, &conv);
         let w_opt = layer_refresh_words(&sim, &cfg, &opt);
         assert!(w_opt > 0, "outputs still need refresh");
-        assert!(w_opt < w_conv, "optimized {w_opt} must refresh fewer words than conventional {w_conv}");
+        assert!(
+            w_opt < w_conv,
+            "optimized {w_opt} must refresh fewer words than conventional {w_conv}"
+        );
         // Flagged words = input + output banks only.
         let bank = cfg.buffer.bank_words as u64;
         let expected_flagged = sim.storage.input_words.div_ceil(bank) * bank

@@ -105,7 +105,12 @@ impl ResidencyTracker {
 ///
 /// The trace executes one channel group and scales the counts, exactly as
 /// the analysis does (groups are independent repetitions).
-pub fn trace(layer: &SchedLayer, pattern: Pattern, tiling: Tiling, cfg: &AcceleratorConfig) -> TraceResult {
+pub fn trace(
+    layer: &SchedLayer,
+    pattern: Pattern,
+    tiling: Tiling,
+    cfg: &AcceleratorConfig,
+) -> TraceResult {
     let t = tiling.clamped_to(layer);
     let g = layer.groups as u64;
     let k2 = (layer.k * layer.k) as u64;
@@ -122,9 +127,7 @@ pub fn trace(layer: &SchedLayer, pattern: Pattern, tiling: Tiling, cfg: &Acceler
     let mn_k2 = (layer.m * layer.n) as u64 * k2;
     let resident_total = match pattern {
         Pattern::Id => n_hl + (t.tm * t.tr * t.tc) as u64 + (layer.n * t.tm) as u64 * k2,
-        Pattern::Od => {
-            (t.tn * layer.h * layer.l) as u64 + m_rc_words + (t.tn * t.tm) as u64 * k2
-        }
+        Pattern::Od => (t.tn * layer.h * layer.l) as u64 + m_rc_words + (t.tn * t.tm) as u64 * k2,
         Pattern::Wd => {
             layer.n as u64 * layer.tile_in_h(t.tr) as u64 * layer.tile_in_w(t.tc) as u64
                 + (t.tm * t.tr * t.tc) as u64
@@ -305,7 +308,11 @@ pub fn trace(layer: &SchedLayer, pattern: Pattern, tiling: Tiling, cfg: &Acceler
     let us = |c: u64| cfg.cycles_to_us(c);
     let measured = Lifetimes {
         input_us: us(input_res.max_residency),
-        output_us: if pattern == Pattern::Id { 0.0 } else { us(output_res.max_residency.max(if pattern == Pattern::Od { clock } else { 0 })) },
+        output_us: if pattern == Pattern::Id {
+            0.0
+        } else {
+            us(output_res.max_residency.max(if pattern == Pattern::Od { clock } else { 0 }))
+        },
         weight_us: us(weight_res.max_residency),
         output_rewrite_us: match pattern {
             Pattern::Od => us(max_rewrite_gap),
@@ -324,7 +331,12 @@ mod tests {
     use crate::analysis::analyze;
     use rana_zoo::{alexnet, resnet50, vgg16};
 
-    fn check_agreement(layer: &SchedLayer, pattern: Pattern, tiling: Tiling, cfg: &AcceleratorConfig) {
+    fn check_agreement(
+        layer: &SchedLayer,
+        pattern: Pattern,
+        tiling: Tiling,
+        cfg: &AcceleratorConfig,
+    ) {
         let a = analyze(layer, pattern, tiling, cfg);
         let t = trace(layer, pattern, tiling, cfg);
         assert_eq!(a.cycles, t.cycles, "{} {pattern} {tiling}: cycles", layer.name);
@@ -402,7 +414,11 @@ mod tests {
         let a = SchedLayer::from_conv(resnet50().conv("res4a_branch1").unwrap());
         let t = trace(&a, Pattern::Od, Tiling::new(16, 16, 1, 16), &cfg);
         // The measured gap between rewrites of an output tile is T2 = 72 µs.
-        assert!((t.measured.output_rewrite_us - 71.68).abs() < 1.0, "gap {}", t.measured.output_rewrite_us);
+        assert!(
+            (t.measured.output_rewrite_us - 71.68).abs() < 1.0,
+            "gap {}",
+            t.measured.output_rewrite_us
+        );
     }
 
     #[test]

@@ -8,9 +8,7 @@ use std::hint::black_box;
 
 fn edram_benches(c: &mut Criterion) {
     let dist = RetentionDistribution::kong2008();
-    c.bench_function("retention/failure_rate", |b| {
-        b.iter(|| dist.failure_rate(black_box(500.0)))
-    });
+    c.bench_function("retention/failure_rate", |b| b.iter(|| dist.failure_rate(black_box(500.0))));
     c.bench_function("retention/tolerable_retention", |b| {
         b.iter(|| dist.tolerable_retention_us(black_box(1e-5)))
     });

@@ -8,7 +8,8 @@ use rana_core::scheduler::Scheduler;
 use std::hint::black_box;
 
 fn scheduler_benches(c: &mut Criterion) {
-    let sched = Scheduler::rana(AcceleratorConfig::paper_edram(), RefreshModel::conventional_45us());
+    let sched =
+        Scheduler::rana(AcceleratorConfig::paper_edram(), RefreshModel::conventional_45us());
     let resnet = rana_zoo::resnet50();
     let layer_a = SchedLayer::from_conv(resnet.conv("res4a_branch1").unwrap());
     let vgg = rana_zoo::vgg16();

@@ -49,9 +49,19 @@ fn simulator_benches(c: &mut Criterion) {
         };
         let inputs: Vec<i16> = (0..4 * 64).map(|i| (i % 251) as i16).collect();
         let weights: Vec<i16> = (0..6 * 4 * 9).map(|i| (i % 127) as i16).collect();
-        let model = BufferModel::Edram { dist: RetentionDistribution::kong2008(), seed: 1, refresh: None };
+        let model =
+            BufferModel::Edram { dist: RetentionDistribution::kong2008(), seed: 1, refresh: None };
         b.iter(|| {
-            execute_layer(&layer, Pattern::Od, Tiling::new(16, 16, 1, 16), &cfg, &inputs, &weights, Formats::default(), &model)
+            execute_layer(
+                &layer,
+                Pattern::Od,
+                Tiling::new(16, 16, 1, 16),
+                &cfg,
+                &inputs,
+                &weights,
+                Formats::default(),
+                &model,
+            )
         })
     });
 }

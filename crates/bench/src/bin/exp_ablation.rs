@@ -11,7 +11,9 @@
 //! 6. Input-resolution scaling (the paper's Table I remark).
 
 use rana_accel::dram::{Ddr3Model, LayerPerformance};
-use rana_accel::{analyze, AcceleratorConfig, ControllerKind, Pattern, RefreshModel, SchedLayer, Tiling};
+use rana_accel::{
+    analyze, AcceleratorConfig, ControllerKind, Pattern, RefreshModel, SchedLayer, Tiling,
+};
 use rana_bench::banner;
 use rana_core::{designs::Design, evaluate::Evaluator, scheduler::Scheduler};
 use rana_edram::{ecc, RetentionDistribution};
@@ -42,13 +44,18 @@ fn retention_binning() {
     for k in [1usize, 2, 4, 8] {
         let plan = plan_bins(&dist, BANK_BITS_32KB, 45.0, k).expect("k > 0");
         let saving = (1.0 - plan.relative_refresh_rate) * 100.0;
-        print!("  {k} bin(s): refresh rate {:.2}x baseline ({saving:+.1}% saving); fractions", plan.relative_refresh_rate);
+        print!(
+            "  {k} bin(s): refresh rate {:.2}x baseline ({saving:+.1}% saving); fractions",
+            plan.relative_refresh_rate
+        );
         for b in &plan.bins {
             print!(" {:.0}us:{:.0}%", b.interval_us, b.bank_fraction * 100.0);
         }
         println!();
     }
-    println!("  (Orthogonal to RANA: binning helps the banks that must refresh; RANA removes the need.)");
+    println!(
+        "  (Orthogonal to RANA: binning helps the banks that must refresh; RANA removes the need.)"
+    );
 }
 
 fn pattern_ablation() {
@@ -57,11 +64,23 @@ fn pattern_ablation() {
     let refresh = RefreshModel::conventional_45us();
     let model = rana_core::energy::EnergyModel::paper_65nm();
     let cases = [
-        ("Layer-A (res4a_branch1)", SchedLayer::from_conv(rana_zoo::resnet50().conv("res4a_branch1").unwrap())),
-        ("Layer-B (vgg conv4_2)", SchedLayer::from_conv(rana_zoo::vgg16().conv("conv4_2").unwrap())),
-        ("vgg conv1_2 (wide/shallow)", SchedLayer::from_conv(rana_zoo::vgg16().conv("conv1_2").unwrap())),
+        (
+            "Layer-A (res4a_branch1)",
+            SchedLayer::from_conv(rana_zoo::resnet50().conv("res4a_branch1").unwrap()),
+        ),
+        (
+            "Layer-B (vgg conv4_2)",
+            SchedLayer::from_conv(rana_zoo::vgg16().conv("conv4_2").unwrap()),
+        ),
+        (
+            "vgg conv1_2 (wide/shallow)",
+            SchedLayer::from_conv(rana_zoo::vgg16().conv("conv1_2").unwrap()),
+        ),
     ];
-    println!("{:<28} {:>4} {:>12} {:>12} {:>12} {:>10}", "layer", "pat", "E total(mJ)", "offchip(mJ)", "refresh(mJ)", "fits?");
+    println!(
+        "{:<28} {:>4} {:>12} {:>12} {:>12} {:>10}",
+        "layer", "pat", "E total(mJ)", "offchip(mJ)", "refresh(mJ)", "fits?"
+    );
     for (name, layer) in &cases {
         for pattern in Pattern::ALL {
             let sim = analyze(layer, pattern, Tiling::new(16, 16, 1, 16), &cfg);
@@ -84,7 +103,10 @@ fn tn_sweep() {
     let cfg = AcceleratorConfig::paper_edram();
     let layer = SchedLayer::from_conv(rana_zoo::vgg16().conv("conv4_2").unwrap());
     let model = rana_core::energy::EnergyModel::paper_65nm();
-    println!("{:>4} {:>14} {:>16} {:>14} {:>14}", "Tn", "LTo (us)", "buf reads+writes", "refresh(mJ)@734", "total(mJ)@734");
+    println!(
+        "{:>4} {:>14} {:>16} {:>14} {:>14}",
+        "Tn", "LTo (us)", "buf reads+writes", "refresh(mJ)@734", "total(mJ)@734"
+    );
     for tn in [16, 8, 4, 2, 1] {
         let sim = analyze(&layer, Pattern::Od, Tiling::new(16, tn, 1, 16), &cfg);
         let refresh = RefreshModel { interval_us: 734.0, kind: ControllerKind::Conventional };
@@ -105,7 +127,10 @@ fn bandwidth_sensitivity() {
     println!("\n[3] DDR3 bandwidth sensitivity: ResNet wall clock vs channel speed");
     let eval = Evaluator::paper_platform();
     let net = rana_zoo::resnet50();
-    println!("{:<12} {:>12} {:>12} {:>12} {:>12}", "design", "0.25x BW", "0.5x BW", "1x (12.8GB/s)", "2x BW");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "design", "0.25x BW", "0.5x BW", "1x (12.8GB/s)", "2x BW"
+    );
     let designs = [Design::SId, Design::EdId, Design::RanaStarE5];
     let results = eval.evaluate_many(&designs.map(|d| (&net, d)));
     for (design, result) in designs.iter().zip(&results) {
@@ -141,7 +166,8 @@ fn ecc_vs_training() {
 
     // One fixed schedule (the natural-tiling OD baseline), so the only
     // variable is the mitigation: refresh interval + per-word overhead.
-    let mut sched = Scheduler::fixed_pattern(cfg.clone(), RefreshModel::conventional_45us(), Pattern::Od);
+    let mut sched =
+        Scheduler::fixed_pattern(cfg.clone(), RefreshModel::conventional_45us(), Pattern::Od);
     sched.fixed_tiling = Some(Tiling::new(16, 16, 1, 16));
     let schedule = sched.schedule_network(&net);
     let model = rana_core::energy::EnergyModel::paper_65nm();
@@ -181,7 +207,10 @@ fn temperature_sweep() {
     let base = RetentionDistribution::kong2008();
     let eval = Evaluator::paper_platform();
     let net = rana_zoo::resnet50();
-    println!("{:>8} {:>16} {:>18} {:>16}", "dT (C)", "typical RT (us)", "tolerable RT (us)", "RANA* total (mJ)");
+    println!(
+        "{:>8} {:>16} {:>18} {:>16}",
+        "dT (C)", "typical RT (us)", "tolerable RT (us)", "RANA* total (mJ)"
+    );
     let dts = [0.0, 10.0, 20.0, 30.0];
     let dists: Vec<_> = dts.iter().map(|&dt| base.at_temperature_delta(dt)).collect();
     let points: Vec<_> = dists
@@ -208,17 +237,18 @@ fn temperature_sweep() {
 fn resolution_scaling() {
     println!("\n[6] Input-resolution scaling (paper Table I remark)");
     let eval = Evaluator::paper_platform();
-    println!("{:<12} {:>12} {:>14} {:>16} {:>16}", "network", "max out (MB)", "S+ID (mJ)", "RANA* (mJ)", "RANA* saving");
+    println!(
+        "{:<12} {:>12} {:>14} {:>16} {:>16}",
+        "network", "max out (MB)", "S+ID (mJ)", "RANA* (mJ)", "RANA* saving"
+    );
     let nets = [
         rana_zoo::vgg16(),
         rana_zoo::vgg16_with_input(448),
         rana_zoo::resnet50(),
         rana_zoo::resnet50_with_input(448),
     ];
-    let points: Vec<_> = nets
-        .iter()
-        .flat_map(|net| [(net, Design::SId), (net, Design::RanaStarE5)])
-        .collect();
+    let points: Vec<_> =
+        nets.iter().flat_map(|net| [(net, Design::SId), (net, Design::RanaStarE5)]).collect();
     let results = eval.evaluate_many(&points);
     for (net, pair) in nets.iter().zip(results.chunks(2)) {
         let m = MaxStorage::of(net);

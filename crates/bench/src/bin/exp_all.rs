@@ -24,6 +24,7 @@ fn main() {
         ("exp_sensitivity", &[]),
         ("exp_bench_sched", &[]),
         ("exp_thermal", &[]),
+        ("exp_serve", &[]),
     ];
     for (name, args) in experiments {
         let status = Command::new(dir.join(name))

@@ -6,10 +6,10 @@
 //! schedules identical to the serial reference.
 
 use rana_accel::{AcceleratorConfig, ControllerKind, RefreshModel};
-use rana_bench::banner;
+use rana_bench::{banner, threads_from_env};
 use rana_core::designs::Design;
 use rana_core::evaluate::Evaluator;
-use rana_core::par::{thread_count, ScheduleCache};
+use rana_core::par::ScheduleCache;
 use rana_core::scheduler::Scheduler;
 use rana_zoo::Network;
 use std::time::Instant;
@@ -77,7 +77,7 @@ fn bench_network(net: &Network) -> String {
 
 fn main() {
     banner("BENCH sched", "Scheduling-engine wall clock: serial vs pruned vs parallel vs memoized");
-    let threads = thread_count();
+    let threads = threads_from_env();
     println!("worker threads: {threads}\n");
 
     let per_network: Vec<String> =
@@ -99,12 +99,20 @@ fn main() {
         .iter()
         .flat_map(|&rt| {
             fig16_designs.iter().map(move |&d| {
-                (resnet_ref, d, RefreshModel { interval_us: rt, kind: ControllerKind::Conventional })
+                (
+                    resnet_ref,
+                    d,
+                    RefreshModel { interval_us: rt, kind: ControllerKind::Conventional },
+                )
             })
         })
         .collect();
     let sweep_points = fig15_points.len() + fig16_points.len();
-    println!("\nsweep: {} fig15 + {} fig16 = {sweep_points} design points", fig15_points.len(), fig16_points.len());
+    println!(
+        "\nsweep: {} fig15 + {} fig16 = {sweep_points} design points",
+        fig15_points.len(),
+        fig16_points.len()
+    );
 
     // Best of two timed iterations per path, with fresh state each time
     // (a fresh cache for the engine, so no iteration benefits from a
@@ -179,7 +187,9 @@ fn main() {
         entries
     );
     let dir = std::path::Path::new("results");
-    match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(dir.join("BENCH_sched.json"), &json)) {
+    match std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(dir.join("BENCH_sched.json"), &json))
+    {
         Ok(()) => println!("(wrote results/BENCH_sched.json)"),
         Err(e) => eprintln!("could not write results/BENCH_sched.json: {e}"),
     }

@@ -10,7 +10,10 @@ fn main() {
     let cfg = AcceleratorConfig::paper_edram();
     let natural = Tiling::new(16, 16, 1, 16);
     let net = rana_zoo::resnet50();
-    println!("{:<18} {:>14} {:>14} {:>8} {:>8}", "layer", "LTi (us)", "LTw (us)", "<45us", "<734us");
+    println!(
+        "{:<18} {:>14} {:>14} {:>8} {:>8}",
+        "layer", "LTi (us)", "LTw (us)", "<45us", "<734us"
+    );
     let mut below_45 = 0;
     let mut below_734 = 0;
     let mut total = 0;

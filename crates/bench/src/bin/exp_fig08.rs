@@ -18,6 +18,9 @@ fn main() {
     println!("  45 us  -> {:.1e}   (weakest cell of a 32KB bank)", d.failure_rate(45.0));
     println!("  734 us -> {:.1e}   (16x interval at 1e-5)", d.failure_rate(734.0));
     for rate in [1e-5f64, 1e-4, 1e-3, 1e-2, 1e-1] {
-        println!("  tolerable retention at rate {rate:>7.0e}: {:>9.0} us", d.tolerable_retention_us(rate));
+        println!(
+            "  tolerable retention at rate {rate:>7.0e}: {:>9.0} us",
+            d.tolerable_retention_us(rate)
+        );
     }
 }

@@ -9,7 +9,7 @@
 //!   models on the synthetic dataset (default; pass `--skip-train` for
 //!   reference-only, or `--full` for the longer training schedule).
 
-use rana_bench::banner;
+use rana_bench::{banner, seed_from_env};
 use rana_nn::data::SyntheticDataset;
 use rana_nn::layers::{Layer, SoftmaxCrossEntropy};
 use rana_nn::models::mini_benchmarks;
@@ -21,6 +21,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let skip_train = args.iter().any(|a| a == "--skip-train");
     let full = args.iter().any(|a| a == "--full");
+    let seed = seed_from_env(0x52414E41);
 
     banner("Figure 11", "Relative accuracy under retention failure rates");
 
@@ -38,14 +39,14 @@ fn main() {
     }
 
     let trainer = if full {
-        RetentionAwareTrainer::default()
+        RetentionAwareTrainer { seed, ..Default::default() }
     } else {
         RetentionAwareTrainer {
             pretrain_epochs: 5,
             retrain_epochs: 2,
             lr: 0.05,
             eval_trials: 2,
-            seed: 0x52414E41,
+            seed,
         }
     };
     let data = SyntheticDataset::new(4, 400, 0xF19);
@@ -66,7 +67,7 @@ fn main() {
 
         // SECDED alternative: the pretrained model under ECC-protected
         // storage (no retraining): corrections absorb the low rates.
-        let ecc_rel = ecc_curve(name, make, &data, curve.baseline);
+        let ecc_rel = ecc_curve(name, make, &data, curve.baseline, seed);
         print_row(&format!("{name}-s (SECDED, no retrain)"), &ecc_rel);
     }
     println!(
@@ -82,10 +83,11 @@ fn ecc_curve(
     make: fn(usize, u64) -> rana_nn::Sequential,
     data: &SyntheticDataset,
     baseline: f64,
+    seed: u64,
 ) -> Vec<f64> {
     let (train, test) = data.split(0.8);
-    let mut net = make(data.classes(), 0x52414E41);
-    let mut t = rana_nn::train::Trainer::new(0.05, 0x52414E41 ^ 1);
+    let mut net = make(data.classes(), seed);
+    let mut t = rana_nn::train::Trainer::new(0.05, seed ^ 1);
     t.train(&mut net, &train, 5, 0.0);
     let loss = SoftmaxCrossEntropy::new();
     PAPER_RATES

@@ -55,7 +55,11 @@ fn main() {
             _ => println!(),
         }
     }
-    rana_bench::write_csv("fig16_retention_sweep.csv", "rt_us,design,accel_norm,refresh_norm", &csv);
+    rana_bench::write_csv(
+        "fig16_retention_sweep.csv",
+        "rt_us,design,accel_norm,refresh_norm",
+        &csv,
+    );
 
     // The paper's 90 -> 180 µs observation.
     println!(

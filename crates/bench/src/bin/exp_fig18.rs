@@ -28,12 +28,21 @@ fn main() {
             for f in factors {
                 let e = Evaluator::paper_platform_scaled(f).evaluate(net, design);
                 print!(" {:>10.3}", e.total.total_j() / base);
-                csv.push(format!("{},{},{f},{:.6}", design.label(), net.name(), e.total.total_j() / base));
+                csv.push(format!(
+                    "{},{},{f},{:.6}",
+                    design.label(),
+                    net.name(),
+                    e.total.total_j() / base
+                ));
             }
             println!();
         }
     }
-    rana_bench::write_csv("fig18_capacity_sweep.csv", "design,network,capacity_factor,norm_total", &csv);
+    rana_bench::write_csv(
+        "fig18_capacity_sweep.csv",
+        "design,network,capacity_factor,norm_total",
+        &csv,
+    );
 
     // The paper's AlexNet observation: at large capacity, conventional
     // refresh makes the total energy rise again; the optimized controller

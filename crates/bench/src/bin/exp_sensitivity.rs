@@ -62,7 +62,8 @@ fn main() {
 
         let layers = param_layers(name);
         let mut report = String::new();
-        let _ = writeln!(report, "\n{name}-s (clean fixed-point accuracy {:.1}%):", baseline * 100.0);
+        let _ =
+            writeln!(report, "\n{name}-s (clean fixed-point accuracy {:.1}%):", baseline * 100.0);
         for (li, lname) in layers.iter().enumerate() {
             let mut acc_sum = 0.0;
             for trial in 0..trials {
@@ -91,6 +92,8 @@ fn main() {
     for report in &reports {
         print!("{report}");
     }
-    println!("\n(The classifier and the deepest convolutions dominate the sensitivity; a per-layer");
+    println!(
+        "\n(The classifier and the deepest convolutions dominate the sensitivity; a per-layer"
+    );
     println!(" failure-rate budget could therefore relax the early layers' retention further.)");
 }

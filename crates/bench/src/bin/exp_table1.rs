@@ -1,10 +1,12 @@
 //! Table I — data storage requirements of CNNs (16-bit).
 //!
 //! Max per-CONV-layer input/output/weight storage for the four benchmarks
-//! at the 224×224×3 input size.
+//! at the 224×224×3 input size, plus a measured-only MobileNet-V1 row
+//! (not in the paper; shows the framework on a depthwise-separable
+//! network).
 
 use rana_bench::banner;
-use rana_zoo::{benchmarks, stats::MaxStorage};
+use rana_zoo::{benchmarks, mobilenet_v1, stats::MaxStorage};
 
 fn main() {
     banner("Table I", "Data storage requirements of CNNs (16-bit)");
@@ -33,5 +35,18 @@ fn main() {
             pw
         );
     }
+    // Beyond the paper: MobileNet-V1, measured only (no paper column).
+    let mob = mobilenet_v1();
+    let m = MaxStorage::of(&mob);
+    println!(
+        "{:<12} {:>6.2} ({:>4}) {:>6.2} ({:>4}) {:>6.2} ({:>4})",
+        mob.name(),
+        m.inputs_mb(),
+        "-",
+        m.outputs_mb(),
+        "-",
+        m.weights_mb(),
+        "-"
+    );
     println!("\n(measured (paper)); all within a few percent — see EXPERIMENTS.md");
 }

@@ -10,7 +10,10 @@ fn main() {
     println!("{:<28} {:>12} {:>12}", "", "SRAM", "eDRAM");
     println!("{:<28} {:>12} {:>12}", "Data storage", "Latch", "Capacitor");
     println!("{:<28} {:>12.3} {:>12.3}", "Area (mm^2)", s.area_mm2, e.area_mm2);
-    println!("{:<28} {:>12.3} {:>12.3}", "Access latency (ns)", s.access_latency_ns, e.access_latency_ns);
+    println!(
+        "{:<28} {:>12.3} {:>12.3}",
+        "Access latency (ns)", s.access_latency_ns, e.access_latency_ns
+    );
     println!(
         "{:<28} {:>12.3} {:>12.3}",
         "Access energy (pJ/bit)", s.access_energy_pj_per_bit, e.access_energy_pj_per_bit

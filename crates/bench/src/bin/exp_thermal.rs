@@ -17,7 +17,7 @@
 //! and a byte-deterministic `results/BENCH_thermal.json`.
 
 use rana_accel::RefreshModel;
-use rana_bench::{banner, write_csv};
+use rana_bench::{banner, seed_from_env, write_csv};
 use rana_core::adaptive::{
     run_probes, run_static_policy, AdaptiveConfig, AdaptiveRuntime, FallbackPolicy, Scenario,
     ValidationSummary,
@@ -28,8 +28,9 @@ use rana_core::evaluate::Evaluator;
 use rana_edram::thermal::ThermalModel;
 use rana_zoo::Network;
 
-/// Probe seed for the whole experiment (everything else is seed-free).
-const SEED: u64 = 17;
+/// Default probe seed for the whole experiment (everything else is
+/// seed-free); override with `RANA_SEED`.
+const DEFAULT_SEED: u64 = 17;
 
 /// Target busy time of the heating transient, µs (several thermal time
 /// constants, so every network approaches its steady-state temperature).
@@ -59,10 +60,10 @@ fn validation_json(v: &ValidationSummary) -> String {
     )
 }
 
-fn run_network(eval: &Evaluator, net: &Network) -> NetResult {
+fn run_network(eval: &Evaluator, net: &Network, seed: u64) -> NetResult {
     let design = Design::RanaStarE5;
     let thermal = ThermalModel::embedded_65nm();
-    let config = AdaptiveConfig::for_design(design, FallbackPolicy::Reschedule, SEED);
+    let config = AdaptiveConfig::for_design(design, FallbackPolicy::Reschedule, seed);
     let target = config.target_rate;
     let kind = design.refresh_model(eval.retention()).kind;
     let model = EnergyModel::paper_65nm();
@@ -77,7 +78,7 @@ fn run_network(eval: &Evaluator, net: &Network) -> NetResult {
     let mut rt = AdaptiveRuntime::new(eval, net, design, thermal, config);
     rt.run_scenario(&scenario);
     let report = rt.report().clone();
-    let adaptive_val = run_probes(&report.probe_specs(), rt.retention(), SEED);
+    let adaptive_val = run_probes(&report.probe_specs(), rt.retention(), seed);
     let adaptive_refresh_j = report.total_energy().refresh_j;
 
     // -- brackets ------------------------------------------------------
@@ -97,9 +98,9 @@ fn run_network(eval: &Evaluator, net: &Network) -> NetResult {
         &thermal,
         &scenario,
     );
-    let static45_val = run_probes(&static45.probe_specs(&thermal), eval.retention(), SEED);
+    let static45_val = run_probes(&static45.probe_specs(&thermal), eval.retention(), seed);
     let oracle = rt.oracle_static_run(&scenario);
-    let oracle_val = run_probes(&oracle.probe_specs(&thermal), eval.retention(), SEED);
+    let oracle_val = run_probes(&oracle.probe_specs(&thermal), eval.retention(), seed);
 
     // The open-loop nominal policy (what the stack did before this
     // subsystem): base schedule, 734 µs-class interval, no feedback.
@@ -114,7 +115,7 @@ fn run_network(eval: &Evaluator, net: &Network) -> NetResult {
         &thermal,
         &scenario,
     );
-    let nominal_val = run_probes(&nominal.probe_specs(&thermal), eval.retention(), SEED);
+    let nominal_val = run_probes(&nominal.probe_specs(&thermal), eval.retention(), seed);
 
     // -- acceptance ----------------------------------------------------
     let rate = adaptive_val.realized_rate();
@@ -220,12 +221,13 @@ fn main() {
     );
     let eval = Evaluator::paper_platform();
     let nets = rana_zoo::benchmarks();
+    let seed = seed_from_env(DEFAULT_SEED);
 
     let mut jsons = Vec::new();
     let mut pass_rows = Vec::new();
     let mut traj_rows = Vec::new();
     for net in &nets {
-        let r = run_network(&eval, net);
+        let r = run_network(&eval, net, seed);
         jsons.push(r.json);
         pass_rows.extend(r.pass_rows);
         traj_rows.extend(r.traj_rows);
@@ -238,7 +240,10 @@ fn main() {
     );
     write_csv("fig_thermal_trajectory.csv", "network,t_us,temp_c,power_w", &traj_rows);
 
-    let json = format!("{{\"experiment\":\"thermal\",\"seed\":{SEED},\"networks\":[{}]}}\n", jsons.join(","));
+    let json = format!(
+        "{{\"experiment\":\"thermal\",\"seed\":{seed},\"networks\":[{}]}}\n",
+        jsons.join(",")
+    );
     let dir = std::path::Path::new("results");
     if let Err(e) = std::fs::create_dir_all(dir)
         .and_then(|()| std::fs::write(dir.join("BENCH_thermal.json"), &json))

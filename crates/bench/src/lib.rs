@@ -12,6 +12,43 @@ use rana_core::evaluate::{Evaluator, NetworkEnergy};
 use rana_core::report::{breakdown_header, breakdown_row, geomean, geomean_breakdown};
 use rana_zoo::Network;
 
+/// The seed an experiment should use: `RANA_SEED` from the environment
+/// when set (decimal or `0x`-prefixed hex), the experiment's `default`
+/// otherwise. An unparseable value is reported and ignored rather than
+/// silently changing the run.
+///
+/// Every `exp_*` binary routes its PRNG seed through here, so one
+/// environment variable reseeds the whole suite without recompiling —
+/// and the recorded default keeps `results/` byte-reproducible.
+pub fn seed_from_env(default: u64) -> u64 {
+    let Ok(raw) = std::env::var("RANA_SEED") else {
+        return default;
+    };
+    match parse_seed(&raw) {
+        Some(seed) => seed,
+        None => {
+            eprintln!("ignoring unparseable RANA_SEED={raw:?}; using default seed {default}");
+            default
+        }
+    }
+}
+
+/// Parses a seed string: decimal or `0x`-prefixed hex.
+fn parse_seed(raw: &str) -> Option<u64> {
+    let v = raw.trim();
+    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse().ok(),
+    }
+}
+
+/// Worker threads for an experiment: the `RANA_THREADS` override when
+/// set, else all available parallelism (delegates to
+/// [`rana_core::par::thread_count`] so binaries and library agree).
+pub fn threads_from_env() -> usize {
+    rana_core::par::thread_count()
+}
+
 /// Prints a standard experiment banner.
 pub fn banner(id: &str, title: &str) {
     println!("==============================================================");
@@ -45,7 +82,10 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
 /// Figure 15-style normalized table (normalized to S+ID per network),
 /// ending with the GEOM group. Returns `(network, design, normalized
 /// breakdown)` rows for further digestion.
-pub fn run_design_matrix(eval: &Evaluator, nets: &[Network]) -> Vec<(String, Design, EnergyBreakdown)> {
+pub fn run_design_matrix(
+    eval: &Evaluator,
+    nets: &[Network],
+) -> Vec<(String, Design, EnergyBreakdown)> {
     let mut rows = Vec::new();
     let mut per_design_norms: Vec<Vec<EnergyBreakdown>> = vec![Vec::new(); Design::ALL.len()];
     let mut csv = Vec::new();
@@ -91,7 +131,11 @@ pub fn run_design_matrix(eval: &Evaluator, nets: &[Network]) -> Vec<(String, Des
             g.total_j()
         ));
     }
-    write_csv("fig15_design_matrix.csv", "network,design,compute,buffer,refresh,offchip,total", &csv);
+    write_csv(
+        "fig15_design_matrix.csv",
+        "network,design,compute,buffer,refresh,offchip,total",
+        &csv,
+    );
 
     // And the figure itself as SVG.
     let groups: Vec<(&str, Vec<svg::Bar>)> = {
@@ -130,11 +174,8 @@ pub fn pct(old: f64, new: f64) -> String {
 
 /// Geometric mean of the `total_j` ratios of a design against S+ID rows.
 pub fn geomean_ratio(rows: &[(String, Design, EnergyBreakdown)], design: Design) -> f64 {
-    let ratios: Vec<f64> = rows
-        .iter()
-        .filter(|(_, d, _)| *d == design)
-        .map(|(_, _, b)| b.total_j())
-        .collect();
+    let ratios: Vec<f64> =
+        rows.iter().filter(|(_, d, _)| *d == design).map(|(_, _, b)| b.total_j()).collect();
     geomean(&ratios)
 }
 
@@ -159,5 +200,21 @@ mod tests {
     fn pct_formatting() {
         assert_eq!(pct(2.0, 1.0), "-50.0%");
         assert_eq!(pct(1.0, 1.417), "+41.7%");
+    }
+
+    #[test]
+    fn seed_parsing_accepts_decimal_and_hex() {
+        assert_eq!(parse_seed("17"), Some(17));
+        assert_eq!(parse_seed(" 42 "), Some(42));
+        assert_eq!(parse_seed("0x52414E41"), Some(0x52414E41));
+        assert_eq!(parse_seed("0X1f"), Some(31));
+        assert_eq!(parse_seed("banana"), None);
+        assert_eq!(parse_seed(""), None);
+        assert_eq!(parse_seed("-3"), None);
+    }
+
+    #[test]
+    fn threads_from_env_is_positive() {
+        assert!(threads_from_env() >= 1);
     }
 }

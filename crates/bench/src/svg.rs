@@ -38,10 +38,8 @@ pub fn stacked_bars(title: &str, series: &[&str], groups: &[(&str, Vec<Bar>)]) -
     let label_h = 90.0;
 
     let total_bars: usize = groups.iter().map(|(_, b)| b.len()).sum();
-    let width = margin_l
-        + total_bars as f64 * (bar_w + gap)
-        + groups.len() as f64 * group_gap
-        + 140.0; // legend space
+    let width =
+        margin_l + total_bars as f64 * (bar_w + gap) + groups.len() as f64 * group_gap + 140.0; // legend space
     let height = margin_top + chart_h + label_h;
     let max_total = groups
         .iter()
@@ -125,7 +123,13 @@ mod tests {
             "t",
             &["compute", "refresh"],
             &[
-                ("A", vec![Bar { label: "x".into(), parts: vec![1.0, 0.5] }, Bar { label: "y".into(), parts: vec![0.2, 0.8] }]),
+                (
+                    "A",
+                    vec![
+                        Bar { label: "x".into(), parts: vec![1.0, 0.5] },
+                        Bar { label: "y".into(), parts: vec![0.2, 0.8] },
+                    ],
+                ),
                 ("B", vec![Bar { label: "z".into(), parts: vec![0.7, 0.1] }]),
             ],
         )

@@ -256,10 +256,7 @@ pub struct AdaptiveReport {
 impl AdaptiveReport {
     /// Peak junction temperature over the whole run, °C.
     pub fn peak_temp_c(&self) -> f64 {
-        self.trajectory
-            .iter()
-            .map(|p| p.temp_c)
-            .fold(self.thermal.ambient_c, f64::max)
+        self.trajectory.iter().map(|p| p.temp_c).fold(self.thermal.ambient_c, f64::max)
     }
 
     /// Total Eq. 14 energy over all passes.
@@ -326,15 +323,9 @@ impl AdaptiveReport {
         out.push_str(&format!("\"network\":{},", json_string(&self.network)));
         out.push_str(&format!("\"design\":{},", json_string(&self.design)));
         out.push_str(&format!("\"target_rate\":{},", json_f64(self.config.target_rate)));
-        out.push_str(&format!(
-            "\"retention_margin\":{},",
-            json_f64(self.config.retention_margin)
-        ));
+        out.push_str(&format!("\"retention_margin\":{},", json_f64(self.config.retention_margin)));
         out.push_str(&format!("\"fallback\":\"{}\",", self.config.fallback.label()));
-        out.push_str(&format!(
-            "\"throttle_temp_c\":{},",
-            json_f64(self.config.throttle_temp_c)
-        ));
+        out.push_str(&format!("\"throttle_temp_c\":{},", json_f64(self.config.throttle_temp_c)));
         out.push_str(&format!(
             "\"reschedule_refresh_weight\":{},",
             json_f64(self.config.reschedule_refresh_weight)
@@ -347,10 +338,7 @@ impl AdaptiveReport {
             json_f64(self.thermal.tau_us),
             json_f64(self.thermal.characterization_c)
         ));
-        out.push_str(&format!(
-            "\"nominal_interval_us\":{},",
-            json_f64(self.nominal_interval_us)
-        ));
+        out.push_str(&format!("\"nominal_interval_us\":{},", json_f64(self.nominal_interval_us)));
         out.push_str(&format!("\"peak_temp_c\":{},", json_f64(self.peak_temp_c())));
         out.push_str(&format!("\"min_interval_us\":{},", json_f64(self.min_interval_us())));
         out.push_str(&format!("\"total_time_us\":{},", json_f64(self.total_time_us())));
@@ -607,21 +595,7 @@ impl AdaptiveRuntime {
     /// divider settings (and therefore online-reschedule cache entries) at
     /// `steps` per octave of derating.
     fn ladder_interval_us(&self, safe_us: f64) -> f64 {
-        let nominal = self.nominal_interval_us;
-        if safe_us >= nominal {
-            return nominal;
-        }
-        assert!(safe_us > 0.0, "safe interval must be positive, got {safe_us}");
-        let steps = f64::from(self.config.ladder_steps_per_octave);
-        let mut k = (steps * (nominal / safe_us).log2()).ceil();
-        let mut rung = nominal * (-k / steps).exp2();
-        // ceil() can land exactly on safe_us's rung and float rounding can
-        // leave it a hair above; step down once more if so.
-        while rung > safe_us {
-            k += 1.0;
-            rung = nominal * (-k / steps).exp2();
-        }
-        rung
+        ladder_rung_us(self.nominal_interval_us, safe_us, self.config.ladder_steps_per_octave)
     }
 
     /// The oracle interval: the ladder rung the policy would pick if it
@@ -631,8 +605,7 @@ impl AdaptiveRuntime {
     /// bracket.
     pub fn oracle_interval_us(&self) -> f64 {
         let sensed = self.sense(self.report.peak_temp_c());
-        let tolerable =
-            self.base_tolerable_us * scale_for_delta(self.thermal.delta_c(sensed));
+        let tolerable = self.base_tolerable_us * scale_for_delta(self.thermal.delta_c(sensed));
         let rung = self.ladder_interval_us(tolerable * self.config.retention_margin);
         // Quantize to the divider exactly as the adaptive loop does.
         ClockDivider::for_interval(self.cfg.frequency_hz, rung)
@@ -710,14 +683,8 @@ impl AdaptiveRuntime {
             energy: layers.iter().map(|l| l.energy).fold(EnergyBreakdown::default(), |a, b| a + b),
             refresh_words: layers.iter().map(|l| l.refresh_words).sum(),
             retunes: layers.iter().filter(|l| l.retuned).count(),
-            fallbacks: layers
-                .iter()
-                .filter(|l| l.source == ScheduleSource::Conservative)
-                .count(),
-            reschedules: layers
-                .iter()
-                .filter(|l| l.source == ScheduleSource::Rescheduled)
-                .count(),
+            fallbacks: layers.iter().filter(|l| l.source == ScheduleSource::Conservative).count(),
+            reschedules: layers.iter().filter(|l| l.source == ScheduleSource::Rescheduled).count(),
             layers,
         };
         self.report.passes.push(record);
@@ -764,8 +731,7 @@ impl AdaptiveRuntime {
         }
         let start_temp_c = self.temp_c;
         let sensed_c = self.sense(start_temp_c);
-        let tolerable_us =
-            self.base_tolerable_us * scale_for_delta(self.thermal.delta_c(sensed_c));
+        let tolerable_us = self.base_tolerable_us * scale_for_delta(self.thermal.delta_c(sensed_c));
         let safe_us = tolerable_us * self.config.retention_margin;
         let rung_us = self.ladder_interval_us(safe_us);
 
@@ -841,14 +807,42 @@ impl AdaptiveRuntime {
     }
 }
 
-/// Retention scale factor for a temperature delta: `2^(−ΔT/10)`.
-fn scale_for_delta(delta_c: f64) -> f64 {
+/// Retention scale factor for a temperature delta: `2^(−ΔT/10)` (retention
+/// roughly halves per +10 °C of junction temperature).
+pub fn scale_for_delta(delta_c: f64) -> f64 {
     (-delta_c / 10.0).exp2()
 }
 
-/// Longest scheduled data lifetime of a layer schedule, µs.
-fn crit_us(l: &LayerSchedule) -> f64 {
+/// Longest scheduled data lifetime of a layer schedule, µs: the quantity a
+/// refresh-free execution must keep below the operating interval.
+pub fn crit_us(l: &LayerSchedule) -> f64 {
     l.sim.lifetimes.critical_intervals().into_iter().fold(0.0, f64::max)
+}
+
+/// Largest interval-ladder rung `nominal · 2^(−k/steps)` (integer `k ≥ 0`)
+/// that does not exceed `safe_us`. Shared by the adaptive runtime and the
+/// serving simulator: quantizing the operating interval onto one ladder
+/// caps the number of distinct scheduling contexts (and therefore memo
+/// cache entries) at `steps_per_octave` per octave of derating.
+///
+/// # Panics
+///
+/// Panics if `safe_us` is not positive.
+pub fn ladder_rung_us(nominal_us: f64, safe_us: f64, steps_per_octave: u32) -> f64 {
+    if safe_us >= nominal_us {
+        return nominal_us;
+    }
+    assert!(safe_us > 0.0, "safe interval must be positive, got {safe_us}");
+    let steps = f64::from(steps_per_octave);
+    let mut k = (steps * (nominal_us / safe_us).log2()).ceil();
+    let mut rung = nominal_us * (-k / steps).exp2();
+    // ceil() can land exactly on safe_us's rung and float rounding can
+    // leave it a hair above; step down once more if so.
+    while rung > safe_us {
+        k += 1.0;
+        rung = nominal_us * (-k / steps).exp2();
+    }
+    rung
 }
 
 // ---------------------------------------------------------------------------

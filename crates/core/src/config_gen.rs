@@ -71,7 +71,11 @@ pub struct LayerwiseConfig {
 
 impl LayerwiseConfig {
     /// Generates the configurations from a schedule.
-    pub fn generate(schedule: &NetworkSchedule, cfg: &AcceleratorConfig, refresh: &RefreshModel) -> Self {
+    pub fn generate(
+        schedule: &NetworkSchedule,
+        cfg: &AcceleratorConfig,
+        refresh: &RefreshModel,
+    ) -> Self {
         let divider = ClockDivider::for_interval(cfg.frequency_hz, refresh.interval_us);
         let layers =
             schedule.layers.iter().map(|l| LayerConfig::for_sim(&l.sim, cfg, refresh)).collect();
@@ -94,11 +98,8 @@ impl LayerwiseConfig {
     }
 
     fn render_json(&self, pretty: bool) -> String {
-        let (nl, ind, ind2, ind3) = if pretty {
-            ("\n", "  ", "    ", "      ")
-        } else {
-            ("", "", "", "")
-        };
+        let (nl, ind, ind2, ind3) =
+            if pretty { ("\n", "  ", "    ", "      ") } else { ("", "", "", "") };
         let sep = if pretty { ": " } else { ":" };
         let mut out = String::with_capacity(256 + self.layers.len() * 160);
         out.push('{');
@@ -162,7 +163,12 @@ impl LayerwiseConfig {
 }
 
 /// Escapes a string as a JSON string literal.
-pub(crate) fn json_string(s: &str) -> String {
+///
+/// Shared by every deterministic report writer in the workspace (the
+/// adaptive runtime, the serving simulator, the experiment binaries):
+/// byte-identical output for identical input is the contract the
+/// determinism tests lock.
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -181,7 +187,10 @@ pub(crate) fn json_string(s: &str) -> String {
 }
 
 /// Formats an f64 so it round-trips as a JSON number.
-pub(crate) fn json_f64(x: f64) -> String {
+///
+/// Companion of [`json_string`]; `{x}` formatting is shortest-round-trip,
+/// so equal doubles always serialize to equal bytes.
+pub fn json_f64(x: f64) -> String {
     if x.is_finite() {
         let s = format!("{x}");
         // Bare integers are valid JSON numbers, keep them short.

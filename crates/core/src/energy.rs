@@ -78,11 +78,18 @@ impl EnergyModel {
     }
 
     /// Energy of one analyzed layer given its refresh-operation count.
-    pub fn layer_energy(&self, sim: &LayerSim, refresh_words: u64, cfg: &AcceleratorConfig) -> EnergyBreakdown {
+    pub fn layer_energy(
+        &self,
+        sim: &LayerSim,
+        refresh_words: u64,
+        cfg: &AcceleratorConfig,
+    ) -> EnergyBreakdown {
         let pj = 1e-12;
         EnergyBreakdown {
             computing_j: sim.macs as f64 * self.costs.mac_pj * pj,
-            buffer_j: sim.traffic.buffer_total() as f64 * self.costs.buffer_access_pj(cfg.buffer.tech) * pj,
+            buffer_j: sim.traffic.buffer_total() as f64
+                * self.costs.buffer_access_pj(cfg.buffer.tech)
+                * pj,
             refresh_j: refresh_words as f64 * self.costs.edram_refresh_pj * pj,
             offchip_j: sim.traffic.dram_total() as f64 * self.costs.ddr_access_pj * pj,
         }

@@ -63,10 +63,7 @@ impl Evaluator {
     /// The paper's platform with the eDRAM buffer scaled by `factor`
     /// (Figure 18's 0.25×…8× sweep).
     pub fn paper_platform_scaled(factor: f64) -> Self {
-        Self {
-            edram_cfg: AcceleratorConfig::paper_edram_scaled(factor),
-            ..Self::paper_platform()
-        }
+        Self { edram_cfg: AcceleratorConfig::paper_edram_scaled(factor), ..Self::paper_platform() }
     }
 
     /// The DaDianNao platform of §V-C: 4096 PEs, fixed
@@ -107,9 +104,8 @@ impl Evaluator {
         let natural = Tiling::new(cfg.pe_rows, cfg.pe_rows, 1, cfg.pe_cols);
         let mut s = Scheduler::rana(cfg, refresh);
         s.patterns = design.patterns();
-        s.fixed_tiling = self
-            .fixed_tiling
-            .or(if design.explores_tiling() { None } else { Some(natural) });
+        s.fixed_tiling =
+            self.fixed_tiling.or(if design.explores_tiling() { None } else { Some(natural) });
         s
     }
 
@@ -141,7 +137,12 @@ impl Evaluator {
 
     /// Evaluates with an explicit refresh model (the Figure 16 retention
     /// time sweep).
-    pub fn evaluate_with_refresh(&self, net: &Network, design: Design, refresh: RefreshModel) -> NetworkEnergy {
+    pub fn evaluate_with_refresh(
+        &self,
+        net: &Network,
+        design: Design,
+        refresh: RefreshModel,
+    ) -> NetworkEnergy {
         let mut scheduler = self.scheduler_for(design);
         scheduler.refresh = refresh;
         let schedule = self.run(&scheduler, net, 0);

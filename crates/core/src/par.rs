@@ -82,18 +82,12 @@ where
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("par_map worker panicked"))
-            .collect()
+        handles.into_iter().flat_map(|h| h.join().expect("par_map worker panicked")).collect()
     });
     for (i, r) in tagged {
         slots[i] = Some(r);
     }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index produced exactly once"))
-        .collect()
+    slots.into_iter().map(|s| s.expect("every index produced exactly once")).collect()
 }
 
 /// Shards in the schedule cache. A power of two; selected by the low

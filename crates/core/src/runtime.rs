@@ -60,11 +60,10 @@ impl<'a> ControllerRuntime<'a> {
     ///
     /// Panics if every configured layer has already run.
     pub fn run_layer(&mut self, mem: &mut EdramArray, duration_us: f64) {
-        let layer = self
-            .config
-            .layers
-            .get(self.next_layer)
-            .unwrap_or_else(|| panic!("all {} layers already executed", self.config.layers.len()));
+        let layer =
+            self.config.layers.get(self.next_layer).unwrap_or_else(|| {
+                panic!("all {} layers already executed", self.config.layers.len())
+            });
         self.next_layer += 1;
         self.issuer.load_flags(layer.refresh_flags.clone());
         let to = self.issuer.now_us() + duration_us;
@@ -100,7 +99,12 @@ mod tests {
         let refresh = design.refresh_model(eval.retention());
         let lw = LayerwiseConfig::generate(&result.schedule, eval.edram_config(), &refresh);
         let cfg = eval.edram_config();
-        let mut mem = EdramArray::new(cfg.buffer.num_banks, cfg.buffer.bank_words, RetentionDistribution::kong2008(), 1);
+        let mut mem = EdramArray::new(
+            cfg.buffer.num_banks,
+            cfg.buffer.bank_words,
+            RetentionDistribution::kong2008(),
+            1,
+        );
         let mut rt = ControllerRuntime::new(&lw);
         for layer in &result.schedule.layers {
             rt.run_layer(&mut mem, layer.sim.time_us);

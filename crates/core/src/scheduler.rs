@@ -8,9 +8,9 @@
 
 use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::par::{self, ScheduleCache};
-use rana_accel::{analyze, AcceleratorConfig, LayerSim, Pattern, RefreshModel, SchedLayer, Tiling};
 use rana_accel::fingerprint::{Fingerprint, Fnv1a};
 use rana_accel::refresh::layer_refresh_words;
+use rana_accel::{analyze, AcceleratorConfig, LayerSim, Pattern, RefreshModel, SchedLayer, Tiling};
 use rana_zoo::Network;
 use std::collections::HashMap;
 
@@ -332,10 +332,8 @@ impl Scheduler {
     /// Schedules every CONV layer of a network, then applies inter-layer
     /// activation forwarding.
     pub fn schedule_network(&self, net: &Network) -> NetworkSchedule {
-        let mut layers: Vec<LayerSchedule> = net
-            .conv_layers()
-            .map(|c| self.schedule_layer(&SchedLayer::from_conv(c)))
-            .collect();
+        let mut layers: Vec<LayerSchedule> =
+            net.conv_layers().map(|c| self.schedule_layer(&SchedLayer::from_conv(c))).collect();
         if self.interlayer_forwarding {
             self.apply_forwarding(net, &mut layers);
         }

@@ -51,7 +51,12 @@ impl EdramArray {
     /// # Panics
     ///
     /// Panics if either dimension is zero.
-    pub fn new(num_banks: usize, bank_words: usize, dist: RetentionDistribution, seed: u64) -> Self {
+    pub fn new(
+        num_banks: usize,
+        bank_words: usize,
+        dist: RetentionDistribution,
+        seed: u64,
+    ) -> Self {
         assert!(num_banks > 0 && bank_words > 0, "array dimensions must be positive");
         let total = num_banks * bank_words;
         Self {
@@ -181,7 +186,9 @@ impl EdramArray {
         for bit in 0..16u32 {
             let q = hash01(self.seed, addr as u64, u64::from(bit));
             if q < rate {
-                let random_bit = (hash01(self.seed ^ 0x9E37_79B9_7F4A_7C15, addr as u64 ^ epoch, u64::from(bit)) > 0.5) as u16;
+                let random_bit =
+                    (hash01(self.seed ^ 0x9E37_79B9_7F4A_7C15, addr as u64 ^ epoch, u64::from(bit))
+                        > 0.5) as u16;
                 let old = (value >> bit) & 1;
                 if old != random_bit {
                     faults += 1;

@@ -95,11 +95,8 @@ pub fn plan_bins(
     let mut covered = 0.0f64;
     for i in 0..k {
         let interval = base_interval_us * 2f64.powi(i as i32);
-        let frac_below_next = if i + 1 < k {
-            bank_weakest_cdf(dist, bank_bits, interval * 2.0)
-        } else {
-            1.0
-        };
+        let frac_below_next =
+            if i + 1 < k { bank_weakest_cdf(dist, bank_bits, interval * 2.0) } else { 1.0 };
         // Banks whose weakest cell is at least `interval` but (for
         // non-final bins) below the next doubling stay in this bin; the
         // first bin also absorbs every bank weaker than the base interval

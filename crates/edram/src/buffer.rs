@@ -59,7 +59,10 @@ impl BankAllocation {
 
     /// Banks assigned to no data type.
     pub fn unused_banks(&self) -> usize {
-        self.total_banks - self.input_banks.len() - self.output_banks.len() - self.weight_banks.len()
+        self.total_banks
+            - self.input_banks.len()
+            - self.output_banks.len()
+            - self.weight_banks.len()
     }
 
     /// Builds per-bank refresh flags: a bank's flag is set iff its data type
@@ -147,7 +150,12 @@ impl UnifiedBuffer {
     /// # Errors
     ///
     /// Returns [`AllocError`] if the requirements exceed the bank count.
-    pub fn allocate(&self, input_words: u64, output_words: u64, weight_words: u64) -> Result<BankAllocation, AllocError> {
+    pub fn allocate(
+        &self,
+        input_words: u64,
+        output_words: u64,
+        weight_words: u64,
+    ) -> Result<BankAllocation, AllocError> {
         let banks_for = |words: u64| (words as usize).div_ceil(self.bank_words);
         let bi = banks_for(input_words);
         let bo = banks_for(output_words);

@@ -95,9 +95,9 @@ impl RefreshPolicy {
         match self {
             RefreshPolicy::ConventionalAll => num_banks,
             RefreshPolicy::Flagged(flags) => flags.iter().take(num_banks).filter(|&&f| f).count(),
-            RefreshPolicy::BinnedMultiples(m) => (0..num_banks)
-                .filter(|&b| m.get(b).copied().unwrap_or(0) == 1)
-                .count(),
+            RefreshPolicy::BinnedMultiples(m) => {
+                (0..num_banks).filter(|&b| m.get(b).copied().unwrap_or(0) == 1).count()
+            }
         }
     }
 }
@@ -140,8 +140,16 @@ impl RefreshConfig {
 
     /// Analytic refresh-word count over a window: pulses × flagged banks ×
     /// bank words.
-    pub fn refresh_words_between(&self, from_us: f64, to_us: f64, num_banks: usize, bank_words: usize) -> u64 {
-        self.pulse_count(from_us, to_us) * self.policy.banks_per_pulse(num_banks) as u64 * bank_words as u64
+    pub fn refresh_words_between(
+        &self,
+        from_us: f64,
+        to_us: f64,
+        num_banks: usize,
+        bank_words: usize,
+    ) -> u64 {
+        self.pulse_count(from_us, to_us)
+            * self.policy.banks_per_pulse(num_banks) as u64
+            * bank_words as u64
     }
 }
 

@@ -15,7 +15,6 @@
 //!
 //! The `exp_ablation` binary quantifies the trade.
 
-
 /// Bits per coded word: 16 data + 5 Hamming + 1 overall parity.
 pub const CODE_BITS: u32 = 22;
 

@@ -1,6 +1,5 @@
 //! 65 nm energy and area constants (paper Tables II and III).
 
-
 /// Per-operation energy costs in picojoules, per 16-bit word
 /// (paper Table III).
 ///

@@ -182,9 +182,7 @@ impl RetentionDistribution {
     /// ```
     pub fn at_temperature_delta(&self, delta_c: f64) -> Self {
         let scale = 2f64.powf(-delta_c / 10.0);
-        Self {
-            anchors: self.anchors.iter().map(|&(t, f)| (t * scale, f)).collect(),
-        }
+        Self { anchors: self.anchors.iter().map(|&(t, f)| (t * scale, f)).collect() }
     }
 }
 
@@ -253,9 +251,7 @@ mod tests {
     fn most_cells_are_strong() {
         let d = RetentionDistribution::kong2008();
         let mut rng = StdRng::seed_from_u64(11);
-        let weak = (0..100_000)
-            .filter(|_| d.sample_cell_retention_us(&mut rng) < 734.0)
-            .count();
+        let weak = (0..100_000).filter(|_| d.sample_cell_retention_us(&mut rng) < 734.0).count();
         // P(retention < 734 µs) = 1e-5, so ~1 in 100k samples.
         assert!(weak <= 5, "sampled {weak} weak cells in 100k");
     }

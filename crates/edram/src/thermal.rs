@@ -66,12 +66,7 @@ impl ThermalModel {
     /// refresh-heavy (streaming) layers. 40 °C/W keeps the loop gain below
     /// one across the zoo's worst layers.
     pub fn embedded_65nm() -> Self {
-        Self {
-            ambient_c: 45.0,
-            r_ja_c_per_w: 40.0,
-            tau_us: 40_000.0,
-            characterization_c: 45.0,
-        }
+        Self { ambient_c: 45.0, r_ja_c_per_w: 40.0, tau_us: 40_000.0, characterization_c: 45.0 }
     }
 
     /// Steady-state junction temperature under constant power `power_w`.

@@ -170,6 +170,9 @@ mod tests {
                 }
             }
         }
-        assert!(corr_y > corr_x + 1.0, "orientation signal missing: along-y {corr_y} vs along-x {corr_x}");
+        assert!(
+            corr_y > corr_x + 1.0,
+            "orientation signal missing: along-y {corr_y} vs along-x {corr_x}"
+        );
     }
 }

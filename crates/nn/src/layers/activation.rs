@@ -26,12 +26,8 @@ impl Layer for Relu {
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         assert_eq!(grad.len(), self.mask.len(), "backward before forward");
-        let data = grad
-            .data()
-            .iter()
-            .zip(&self.mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
+        let data =
+            grad.data().iter().zip(&self.mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
         Tensor::from_vec(data, grad.shape())
     }
 

@@ -67,7 +67,9 @@ impl BatchNorm2d {
 
 impl Layer for BatchNorm2d {
     fn forward(&mut self, x: &Tensor, _ctx: &mut FaultContext) -> Tensor {
-        let [b, c, h, w] = x.shape() else { panic!("batchnorm expects [B,C,H,W], got {:?}", x.shape()) };
+        let [b, c, h, w] = x.shape() else {
+            panic!("batchnorm expects [B,C,H,W], got {:?}", x.shape())
+        };
         let (b, c, h, w) = (*b, *c, *h, *w);
         assert_eq!(c, self.channels, "channel mismatch in {}", self.name);
         self.in_shape = x.shape().to_vec();
@@ -96,8 +98,10 @@ impl Layer for BatchNorm2d {
                     }
                 }
                 var /= count;
-                self.running_mean[ch] = (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
-                self.running_var[ch] = (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
                 (mean, var)
             };
             let inv = 1.0 / (var + self.eps).sqrt();

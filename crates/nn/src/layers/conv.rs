@@ -28,7 +28,14 @@ impl Conv2d {
     /// # Panics
     ///
     /// Panics if any dimension is zero.
-    pub fn new(in_ch: usize, out_ch: usize, k: usize, stride: usize, pad: usize, seed: u64) -> Self {
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        seed: u64,
+    ) -> Self {
         assert!(in_ch > 0 && out_ch > 0 && k > 0 && stride > 0, "conv dimensions must be positive");
         let mut rng = StdRng::seed_from_u64(seed ^ 0xC0D1F1ED);
         let fan_in = (in_ch * k * k) as f32;
@@ -76,7 +83,17 @@ impl Conv2d {
     /// column matrix (im2col), so the convolution becomes a dense
     /// matrix product — the usual CPU-training layout.
     #[allow(clippy::too_many_arguments)]
-    fn im2col(xs: &[f32], n: usize, h: usize, w: usize, k: usize, s: usize, p: usize, oh: usize, ow: usize) -> Vec<f32> {
+    fn im2col(
+        xs: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        k: usize,
+        s: usize,
+        p: usize,
+        oh: usize,
+        ow: usize,
+    ) -> Vec<f32> {
         let mut col = vec![0.0f32; n * k * k * oh * ow];
         let ohw = oh * ow;
         for c in 0..n {
@@ -105,7 +122,18 @@ impl Conv2d {
 
     /// Scatters a column-matrix gradient back onto the input (col2im).
     #[allow(clippy::too_many_arguments)]
-    fn col2im(gcol: &[f32], gxs: &mut [f32], n: usize, h: usize, w: usize, k: usize, s: usize, p: usize, oh: usize, ow: usize) {
+    fn col2im(
+        gcol: &[f32],
+        gxs: &mut [f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        k: usize,
+        s: usize,
+        p: usize,
+        oh: usize,
+        ow: usize,
+    ) {
         let ohw = oh * ow;
         for c in 0..n {
             for u in 0..k {
@@ -133,13 +161,18 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, ctx: &mut FaultContext) -> Tensor {
-        let [b, n, h, wdt] = x.shape() else { panic!("conv expects [B,C,H,W], got {:?}", x.shape()) };
+        let [b, n, h, wdt] = x.shape() else {
+            panic!("conv expects [B,C,H,W], got {:?}", x.shape())
+        };
         let (b, n, h, wdt) = (*b, *n, *h, *wdt);
         assert_eq!(n, self.in_ch, "channel mismatch in {}", self.name);
         // Quantize + fault-inject both activations and weights (Figure 9).
         let x = ctx.corrupt(x);
         let w = ctx
-            .corrupt(&Tensor::from_vec(self.weight.value.clone(), &[self.out_ch, self.in_ch, self.k, self.k]))
+            .corrupt(&Tensor::from_vec(
+                self.weight.value.clone(),
+                &[self.out_ch, self.in_ch, self.k, self.k],
+            ))
             .data()
             .to_vec();
 
@@ -154,9 +187,20 @@ impl Layer for Conv2d {
         let mut cols = Vec::with_capacity(b);
         for bi in 0..b {
             // im2col + matrix product: y[m] = W[m] · col + bias.
-            let col = Self::im2col(&xs[bi * n * h * wdt..(bi + 1) * n * h * wdt], n, h, wdt, k, s, p, oh, ow);
+            let col = Self::im2col(
+                &xs[bi * n * h * wdt..(bi + 1) * n * h * wdt],
+                n,
+                h,
+                wdt,
+                k,
+                s,
+                p,
+                oh,
+                ow,
+            );
             for m in 0..self.out_ch {
-                let out_row = &mut ys[(bi * self.out_ch + m) * ohw..(bi * self.out_ch + m + 1) * ohw];
+                let out_row =
+                    &mut ys[(bi * self.out_ch + m) * ohw..(bi * self.out_ch + m + 1) * ohw];
                 out_row.fill(self.bias.value[m]);
                 let w_row = &w[m * kk..(m + 1) * kk];
                 for (q, &wq) in w_row.iter().enumerate() {
@@ -266,7 +310,10 @@ mod tests {
         // Numerical vs analytic gradient on a tiny conv (no quantization:
         // use values exactly representable and epsilon large enough).
         let mut c = Conv2d::new(1, 1, 3, 1, 0, 3);
-        let x = Tensor::from_vec(vec![0.5, -0.25, 0.125, 0.75, 0.5, -0.5, 0.25, 0.0, 1.0], &[1, 1, 3, 3]);
+        let x = Tensor::from_vec(
+            vec![0.5, -0.25, 0.125, 0.75, 0.5, -0.5, 0.25, 0.0, 1.0],
+            &[1, 1, 3, 3],
+        );
         let mut ctx = FaultContext::clean();
         // Loss = output scalar itself (3x3 input, 3x3 kernel -> 1x1 output).
         let _ = c.forward(&x, &mut ctx);

@@ -30,9 +30,8 @@ impl DepthwiseConv2d {
         assert!(channels > 0 && k > 0 && stride > 0, "depthwise dimensions must be positive");
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD39);
         let scale = (2.0 / (k * k) as f32).sqrt();
-        let weight: Vec<f32> = (0..channels * k * k)
-            .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale)
-            .collect();
+        let weight: Vec<f32> =
+            (0..channels * k * k).map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale).collect();
         Self {
             channels,
             k,
@@ -54,7 +53,9 @@ impl DepthwiseConv2d {
 
 impl Layer for DepthwiseConv2d {
     fn forward(&mut self, x: &Tensor, ctx: &mut FaultContext) -> Tensor {
-        let [b, c, h, w] = x.shape() else { panic!("dwconv expects [B,C,H,W], got {:?}", x.shape()) };
+        let [b, c, h, w] = x.shape() else {
+            panic!("dwconv expects [B,C,H,W], got {:?}", x.shape())
+        };
         let (b, c, h, w) = (*b, *c, *h, *w);
         assert_eq!(c, self.channels, "channel mismatch in {}", self.name);
         let x = ctx.corrupt(x);

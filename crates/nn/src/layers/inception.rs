@@ -69,7 +69,9 @@ fn split_channels(grad: &Tensor, widths: &[usize]) -> Vec<Tensor> {
         let mut c_off = 0;
         for (o, &c) in outs.iter_mut().zip(widths) {
             let dst = &mut o.data_mut()[bi * c * hw..(bi + 1) * c * hw];
-            dst.copy_from_slice(&grad.data()[(bi * total_c + c_off) * hw..(bi * total_c + c_off + c) * hw]);
+            dst.copy_from_slice(
+                &grad.data()[(bi * total_c + c_off) * hw..(bi * total_c + c_off + c) * hw],
+            );
             c_off += c;
         }
     }

@@ -27,9 +27,8 @@ impl Linear {
         assert!(in_dim > 0 && out_dim > 0, "linear dimensions must be positive");
         let mut rng = StdRng::seed_from_u64(seed ^ 0x11EA4);
         let scale = (2.0 / in_dim as f32).sqrt();
-        let weight: Vec<f32> = (0..out_dim * in_dim)
-            .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale)
-            .collect();
+        let weight: Vec<f32> =
+            (0..out_dim * in_dim).map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale).collect();
         Self {
             in_dim,
             out_dim,

@@ -5,8 +5,10 @@
 //! All models take `[B, 1, 12, 12]` synthetic images (see
 //! [`crate::data`]) and emit `classes` logits.
 
-use crate::layers::{Conv2d, Flatten, InceptionBlock, Linear, MaxPool2d, Relu, ResidualBlock, Sequential};
 use crate::data::IMG;
+use crate::layers::{
+    Conv2d, Flatten, InceptionBlock, Linear, MaxPool2d, Relu, ResidualBlock, Sequential,
+};
 
 /// AlexNet-style: two large-ish convolutions with pooling, then a
 /// classifier.
@@ -84,7 +86,7 @@ pub fn mobilenet_s(classes: usize, seed: u64) -> Sequential {
     net.push(BatchNorm2d::new(16));
     net.push(Relu::new());
     net.push(MaxPool2d::new(2)); // 12 -> 6
-    // Block 2.
+                                 // Block 2.
     net.push(DepthwiseConv2d::new(16, 3, 1, 1, seed ^ 0xE4));
     net.push(Conv2d::new(16, 16, 1, 1, 0, seed ^ 0xE5));
     net.push(Relu::new());

@@ -11,10 +11,14 @@
 
 /// `(failure_rate, relative_top1_accuracy)` reference points per benchmark.
 pub fn paper_fig11(model: &str) -> Option<&'static [(f64, f64)]> {
-    const ALEXNET: &[(f64, f64)] = &[(1e-5, 1.000), (1e-4, 0.998), (1e-3, 0.985), (1e-2, 0.945), (1e-1, 0.830)];
-    const VGG: &[(f64, f64)] = &[(1e-5, 1.000), (1e-4, 0.995), (1e-3, 0.980), (1e-2, 0.925), (1e-1, 0.780)];
-    const GOOGLENET: &[(f64, f64)] = &[(1e-5, 1.000), (1e-4, 0.992), (1e-3, 0.970), (1e-2, 0.900), (1e-1, 0.720)];
-    const RESNET: &[(f64, f64)] = &[(1e-5, 1.000), (1e-4, 0.990), (1e-3, 0.962), (1e-2, 0.880), (1e-1, 0.700)];
+    const ALEXNET: &[(f64, f64)] =
+        &[(1e-5, 1.000), (1e-4, 0.998), (1e-3, 0.985), (1e-2, 0.945), (1e-1, 0.830)];
+    const VGG: &[(f64, f64)] =
+        &[(1e-5, 1.000), (1e-4, 0.995), (1e-3, 0.980), (1e-2, 0.925), (1e-1, 0.780)];
+    const GOOGLENET: &[(f64, f64)] =
+        &[(1e-5, 1.000), (1e-4, 0.992), (1e-3, 0.970), (1e-2, 0.900), (1e-1, 0.720)];
+    const RESNET: &[(f64, f64)] =
+        &[(1e-5, 1.000), (1e-4, 0.990), (1e-3, 0.962), (1e-2, 0.880), (1e-1, 0.700)];
     match model {
         "AlexNet" => Some(ALEXNET),
         "VGG" => Some(VGG),

@@ -131,7 +131,13 @@ impl fmt::Debug for Tensor {
         if self.len() <= 8 {
             write!(f, " {:?}", self.data)
         } else {
-            write!(f, " [{:.4}, {:.4}, ...; max|x|={:.4}]", self.data[0], self.data[1], self.max_abs())
+            write!(
+                f,
+                " [{:.4}, {:.4}, ...; max|x|={:.4}]",
+                self.data[0],
+                self.data[1],
+                self.max_abs()
+            )
         }
     }
 }

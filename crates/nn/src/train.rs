@@ -43,7 +43,13 @@ impl Trainer {
     /// Trains for `epochs` with retention failures injected at `fault_rate`
     /// during every forward pass. Returns the final epoch's training
     /// accuracy.
-    pub fn train(&mut self, net: &mut dyn Layer, data: &SyntheticDataset, epochs: usize, fault_rate: f64) -> f64 {
+    pub fn train(
+        &mut self,
+        net: &mut dyn Layer,
+        data: &SyntheticDataset,
+        epochs: usize,
+        fault_rate: f64,
+    ) -> f64 {
         let mut last_acc = 0.0;
         for _ in 0..epochs {
             let mut correct = 0usize;
@@ -66,14 +72,21 @@ impl Trainer {
 
     /// Evaluates accuracy under `fault_rate`, averaging `trials`
     /// independent error draws (errors are stochastic, §IV-B).
-    pub fn evaluate(&mut self, net: &mut dyn Layer, data: &SyntheticDataset, fault_rate: f64, trials: usize) -> f64 {
+    pub fn evaluate(
+        &mut self,
+        net: &mut dyn Layer,
+        data: &SyntheticDataset,
+        fault_rate: f64,
+        trials: usize,
+    ) -> f64 {
         assert!(trials > 0, "need at least one trial");
         let mut acc_sum = 0.0;
         for trial in 0..trials {
             let mut correct = 0usize;
             let mut total = 0usize;
             for (x, labels) in data.batches(self.batch) {
-                let mut ctx = FaultContext::new(fault_rate, self.seed ^ (0xEAA0 + trial as u64) << 8);
+                let mut ctx =
+                    FaultContext::new(fault_rate, self.seed ^ (0xEAA0 + trial as u64) << 8);
                 let logits = net.forward(&x, &mut ctx);
                 let preds = self.loss.predict(&logits);
                 correct += preds.iter().zip(&labels).filter(|(p, l)| p == l).count();

@@ -1,0 +1,135 @@
+//! Partitioning the banked eDRAM unified buffer across tenants.
+//!
+//! Each in-flight tenant owns a contiguous share of the 44 paper banks and
+//! is scheduled against an accelerator whose `buffer.num_banks` equals that
+//! share — the partition size thereby enters `Scheduler::layer_key`, so the
+//! shared memo cache keys warm schedules by (layer, partition size, rung)
+//! with no extra machinery.
+
+/// How the unified buffer's banks are split across tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionPolicy {
+    /// Equal split, fixed for the whole run (largest-remainder rounding).
+    Static,
+    /// Greedy marginal-energy split, recomputed every rebalance epoch from
+    /// the observed per-tenant arrival rates: banks go where the predicted
+    /// energy-per-inference saving (weighted by load) is largest.
+    Dynamic,
+}
+
+impl PartitionPolicy {
+    /// Stable lowercase label (used in JSON and CSV output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PartitionPolicy::Static => "static",
+            PartitionPolicy::Dynamic => "dynamic",
+        }
+    }
+}
+
+/// Splits `total` banks over `n` tenants as evenly as integers allow:
+/// every tenant gets `total / n`, the first `total % n` tenants one more.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or `total < n`.
+pub fn equal_split(total: usize, n: usize) -> Vec<usize> {
+    assert!(n > 0, "cannot partition across zero tenants");
+    assert!(total >= n, "need at least one bank per tenant ({total} banks, {n} tenants)");
+    let base = total / n;
+    let extra = total % n;
+    (0..n).map(|i| base + usize::from(i < extra)).collect()
+}
+
+/// Greedy marginal-gain allocation: every tenant starts at `min_banks`,
+/// then `quantum`-bank slices go one at a time to the tenant whose
+/// `gain(tenant, current_banks)` — the predicted benefit of growing that
+/// tenant's share by one quantum — is highest (ties to the lowest index).
+/// Stops when fewer than `quantum` banks remain or no tenant benefits;
+/// a stranded remainder stays unallocated (unallocated banks hold no live
+/// data and are never refreshed).
+///
+/// Quantizing shares to `quantum` keeps the set of distinct partition
+/// sizes — and with it the number of cold schedule searches the memo
+/// cache must absorb — small.
+///
+/// # Panics
+///
+/// Panics if `quantum` is zero or `total < n · min_banks`.
+pub fn greedy_split(
+    total: usize,
+    n: usize,
+    min_banks: usize,
+    quantum: usize,
+    mut gain: impl FnMut(usize, usize) -> f64,
+) -> Vec<usize> {
+    assert!(quantum > 0, "quantum must be positive");
+    assert!(n > 0, "cannot partition across zero tenants");
+    assert!(
+        total >= n * min_banks,
+        "need {min_banks} banks per tenant ({total} banks, {n} tenants)"
+    );
+    let mut banks = vec![min_banks; n];
+    let mut remaining = total - n * min_banks;
+    while remaining >= quantum {
+        let mut best: Option<(usize, f64)> = None;
+        for (t, &b) in banks.iter().enumerate() {
+            let g = gain(t, b);
+            if g > 0.0 && best.is_none_or(|(_, bg)| g > bg) {
+                best = Some((t, g));
+            }
+        }
+        match best {
+            Some((t, _)) => {
+                banks[t] += quantum;
+                remaining -= quantum;
+            }
+            None => break,
+        }
+    }
+    banks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_split_covers_all_banks() {
+        assert_eq!(equal_split(44, 3), vec![15, 15, 14]);
+        assert_eq!(equal_split(44, 4), vec![11, 11, 11, 11]);
+        assert_eq!(equal_split(5, 5), vec![1, 1, 1, 1, 1]);
+        assert_eq!(equal_split(44, 3).iter().sum::<usize>(), 44);
+    }
+
+    #[test]
+    fn greedy_follows_the_gain_function() {
+        // Tenant 1's gain dominates until it holds 20 banks, then tenant 0
+        // takes the rest.
+        let banks = greedy_split(44, 3, 4, 4, |t, b| match t {
+            1 if b < 20 => 10.0,
+            0 => 1.0,
+            _ => 0.1,
+        });
+        assert_eq!(banks[1], 20);
+        assert!(banks[0] > banks[2]);
+        assert!(banks.iter().sum::<usize>() <= 44);
+        assert!(banks.iter().all(|&b| b >= 4));
+    }
+
+    #[test]
+    fn greedy_stops_when_no_tenant_benefits() {
+        let banks = greedy_split(44, 2, 4, 4, |_, _| 0.0);
+        assert_eq!(banks, vec![4, 4]);
+    }
+
+    #[test]
+    fn greedy_is_deterministic_under_ties() {
+        // Equal gains: slices go to the lowest index first, round-robin
+        // never happens — the allocation is still a pure function.
+        let a = greedy_split(20, 2, 2, 2, |_, _| 1.0);
+        let b = greedy_split(20, 2, 2, 2, |_, _| 1.0);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().sum::<usize>(), 20);
+    }
+}

@@ -1,0 +1,912 @@
+//! The event-driven serving loop.
+//!
+//! One simulated RANA accelerator serves a mix of tenant networks. Each
+//! tenant owns a partition of the banked eDRAM unified buffer and is
+//! scheduled against an accelerator config whose `buffer.num_banks` equals
+//! its share, at the refresh-interval ladder rung the sensed die
+//! temperature currently allows — so every (layer shape, partition size,
+//! rung) search flows through the evaluator's shared
+//! [`ScheduleCache`](rana_core::par::ScheduleCache) and is performed at
+//! most once.
+//!
+//! Per batch the loop mirrors the PR 3 adaptive runtime: sense the die
+//! (quantized up), derate the tolerable retention by `2^(−ΔT/10)` and the
+//! safety margin, snap onto the interval ladder, retune the tenant's clock
+//! divider when the rung changed, keep each base-schedule layer iff it
+//! stays refresh-free under the operating interval and otherwise
+//! reschedule it online through the memo cache (with the same hedged
+//! refresh pricing), then re-account refresh words and Eq. 14 energy at
+//! the operating interval and integrate the dissipated power into the
+//! lumped-RC thermal plant. Sustained load therefore heats the die, the
+//! die tightens the rungs, and the tight rungs trigger exactly the
+//! fallback path PR 3 introduced.
+
+use crate::metrics::LatencyStats;
+use crate::partition::{equal_split, greedy_split, PartitionPolicy};
+use crate::traffic::{self, TrafficModel};
+use rana_accel::{layer_refresh_words, ControllerKind, RefreshModel, SchedLayer};
+use rana_core::adaptive::{crit_us, ladder_rung_us, scale_for_delta};
+use rana_core::config_gen::{json_f64, json_string, LayerConfig};
+use rana_core::designs::Design;
+use rana_core::energy::EnergyBreakdown;
+use rana_core::evaluate::Evaluator;
+use rana_core::scheduler::Scheduler;
+use rana_edram::thermal::ThermalModel;
+use rana_edram::ClockDivider;
+use rana_zoo::Network;
+use std::collections::{HashMap, VecDeque};
+
+/// One tenant of the serving mix.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// The tenant's network.
+    pub network: Network,
+    /// Share of the offered load (normalized over the mix).
+    pub weight: f64,
+    /// Deadline slack: a request arriving at `t` must finish by
+    /// `t + slack · isolated_latency` or it is dropped at dispatch.
+    pub deadline_slack: f64,
+    /// Most requests servable back to back with weights held resident
+    /// (weight DRAM loads are paid once per batch, not per request).
+    pub max_batch: usize,
+}
+
+impl TenantSpec {
+    /// A tenant with the default serving knobs (8× deadline slack,
+    /// batches of up to 4).
+    pub fn new(network: Network, weight: f64) -> Self {
+        Self { network, weight, deadline_slack: 8.0, max_batch: 4 }
+    }
+}
+
+/// Dispatch order among tenant queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// Oldest waiting request first.
+    Fifo,
+    /// Earliest deadline first.
+    Edf,
+}
+
+impl QueuePolicy {
+    /// Stable lowercase label (used in JSON and CSV output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueuePolicy::Fifo => "fifo",
+            QueuePolicy::Edf => "edf",
+        }
+    }
+}
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Design point (must buffer in eDRAM).
+    pub design: Design,
+    /// Dispatch order among tenant queues.
+    pub queue_policy: QueuePolicy,
+    /// How the buffer's banks are split across tenants.
+    pub partition_policy: PartitionPolicy,
+    /// The arrival process.
+    pub traffic: TrafficModel,
+    /// Arrivals are generated over `[0, horizon_us)`; the run then drains
+    /// the queues.
+    pub horizon_us: f64,
+    /// Seed of the arrival stream (the serving loop itself is seed-free).
+    pub seed: u64,
+    /// Admission control: arrivals beyond this many queued requests per
+    /// tenant are dropped.
+    pub queue_cap: usize,
+    /// Smallest per-tenant bank share.
+    pub min_banks: usize,
+    /// Dynamic shares grow in slices of this many banks (bounds the set
+    /// of distinct partition sizes the schedule cache must absorb).
+    pub bank_quantum: usize,
+    /// Dynamic partitioning recomputes shares every this many µs. Epochs
+    /// must be long enough to observe tens of arrivals, or the estimated
+    /// per-tenant rates (and with them the partition) jitter.
+    pub rebalance_us: f64,
+    /// Safety margin on the tolerable retention time (PR 3 semantics).
+    pub retention_margin: f64,
+    /// Temperature sensor resolution, °C (samples quantize up).
+    pub sensor_quantum_c: f64,
+    /// Interval-ladder resolution, rungs per octave of derating.
+    pub ladder_steps_per_octave: u32,
+    /// Thermal throttle cap, °C: the accelerator idles back to this
+    /// temperature before launching a batch from above it.
+    pub throttle_temp_c: f64,
+    /// Hedged refresh pricing for online reschedules (PR 3 semantics);
+    /// accounting always uses the unweighted model.
+    pub reschedule_refresh_weight: f64,
+}
+
+impl ServeConfig {
+    /// Paper-platform defaults: RANA*(E-5), FIFO, static partitioning,
+    /// 1 s horizon, 16-deep queues, 4-bank floor and quantum, 2 s
+    /// rebalance epochs, and the PR 3 thermal-policy constants.
+    pub fn paper(traffic: TrafficModel, seed: u64) -> Self {
+        Self {
+            design: Design::RanaStarE5,
+            queue_policy: QueuePolicy::Fifo,
+            partition_policy: PartitionPolicy::Static,
+            traffic,
+            horizon_us: 1e6,
+            seed,
+            queue_cap: 16,
+            min_banks: 4,
+            bank_quantum: 4,
+            rebalance_us: 2_000_000.0,
+            retention_margin: 0.85,
+            sensor_quantum_c: 0.25,
+            ladder_steps_per_octave: 4,
+            throttle_temp_c: 85.0,
+            reschedule_refresh_weight: 4.0,
+        }
+    }
+}
+
+/// An admitted request waiting in a tenant queue.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    arrival_us: f64,
+    deadline_us: f64,
+}
+
+/// The per-(tenant, partition size, operating interval) execution profile:
+/// one inference's time, energy, refresh traffic and controller state
+/// under the keep-base-iff-refresh-free decision rule. Cached — the
+/// serving loop runs thousands of requests over a handful of these.
+#[derive(Debug, Clone)]
+struct OpSchedule {
+    time_us: f64,
+    energy: EnergyBreakdown,
+    refresh_words: u64,
+    weight_reload_words: u64,
+    rescheduled_layers: u64,
+    flagged_banks: usize,
+}
+
+/// Mutable per-tenant serving state.
+#[derive(Debug, Default)]
+struct TenantRuntime {
+    queue: VecDeque<Request>,
+    banks: usize,
+    divider_ratio: u64,
+    isolated_us: f64,
+    offered: u64,
+    epoch_arrivals: u64,
+    served: u64,
+    batches: u64,
+    admission_drops: u64,
+    deadline_drops: u64,
+    retunes: u64,
+    rescheduled_layer_execs: u64,
+    flagged_banks_peak: usize,
+    energy: EnergyBreakdown,
+    latencies: Vec<f64>,
+}
+
+/// The serving simulator. Build with [`Server::new`], drive to completion
+/// with [`Server::run`].
+#[derive(Debug)]
+pub struct Server<'a> {
+    eval: &'a Evaluator,
+    specs: Vec<TenantSpec>,
+    config: ServeConfig,
+    thermal: ThermalModel,
+    template: Scheduler,
+    kind: ControllerKind,
+    frequency_hz: f64,
+    total_banks: usize,
+    nominal_interval_us: f64,
+    nominal_rung_us: f64,
+    base_tolerable_us: f64,
+    tenants: Vec<TenantRuntime>,
+    op_cache: HashMap<(usize, usize, u64), OpSchedule>,
+    energy_curve: HashMap<(usize, usize), f64>,
+    now_us: f64,
+    temp_c: f64,
+    peak_temp_c: f64,
+    min_interval_us: f64,
+    idle_us: f64,
+    throttle_us: f64,
+    rebalances: u64,
+    energy: EnergyBreakdown,
+    refresh_words: u64,
+}
+
+impl<'a> Server<'a> {
+    /// Builds a server over `eval`'s platform (and its shared schedule
+    /// cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design does not buffer in eDRAM, the mix is empty or
+    /// carries non-positive weights, or the partition floor does not fit
+    /// the buffer.
+    pub fn new(eval: &'a Evaluator, specs: Vec<TenantSpec>, config: ServeConfig) -> Self {
+        assert!(config.design.uses_edram(), "serving needs an eDRAM design, got {}", config.design);
+        assert!(!specs.is_empty(), "tenant mix must not be empty");
+        assert!(specs.iter().all(|s| s.weight > 0.0), "tenant weights must be positive");
+        assert!(specs.iter().all(|s| s.max_batch >= 1), "max_batch must be at least 1");
+        assert!(specs.iter().all(|s| s.deadline_slack > 1.0), "deadline slack must exceed 1");
+        assert!(config.queue_cap >= 1, "queue cap must be at least 1");
+        assert!(
+            config.retention_margin > 0.0 && config.retention_margin <= 1.0,
+            "retention margin must be in (0, 1]"
+        );
+        assert!(config.sensor_quantum_c > 0.0, "sensor quantum must be positive");
+        assert!(config.ladder_steps_per_octave >= 1, "ladder needs at least one step per octave");
+        assert!(config.reschedule_refresh_weight >= 1.0, "refresh weight must be at least 1");
+
+        let template = eval.scheduler_for(config.design);
+        let thermal = ThermalModel::embedded_65nm();
+        assert!(config.throttle_temp_c > thermal.ambient_c, "throttle cap must be above ambient");
+        let frequency_hz = template.cfg.frequency_hz;
+        let total_banks = template.cfg.buffer.num_banks;
+        assert!(
+            total_banks >= specs.len() * config.min_banks,
+            "{} banks cannot give {} tenants {} banks each",
+            total_banks,
+            specs.len(),
+            config.min_banks
+        );
+        let nominal_interval_us = template.refresh.interval_us;
+        let nominal_rung_us = ClockDivider::for_interval(frequency_hz, nominal_interval_us)
+            .pulse_period_us(frequency_hz);
+        let base_tolerable_us =
+            eval.retention().tolerable_retention_us(config.design.failure_rate());
+        let nominal_ratio = ClockDivider::for_interval(frequency_hz, nominal_interval_us).ratio();
+
+        let shares = equal_split(total_banks, specs.len());
+        let tenants = specs
+            .iter()
+            .zip(&shares)
+            .map(|(s, &banks)| TenantRuntime {
+                banks,
+                divider_ratio: nominal_ratio,
+                isolated_us: eval.evaluate(&s.network, config.design).time_us,
+                ..TenantRuntime::default()
+            })
+            .collect();
+
+        Self {
+            eval,
+            specs,
+            config,
+            thermal,
+            kind: template.refresh.kind,
+            frequency_hz,
+            total_banks,
+            nominal_interval_us,
+            nominal_rung_us,
+            base_tolerable_us,
+            template,
+            tenants,
+            op_cache: HashMap::new(),
+            energy_curve: HashMap::new(),
+            now_us: 0.0,
+            temp_c: thermal.ambient_c,
+            peak_temp_c: thermal.ambient_c,
+            min_interval_us: nominal_rung_us,
+            idle_us: 0.0,
+            throttle_us: 0.0,
+            rebalances: 0,
+            energy: EnergyBreakdown::default(),
+            refresh_words: 0,
+        }
+    }
+
+    /// Per-inference total energy of tenant `t` at `banks` banks under the
+    /// nominal rung — the prediction the dynamic partitioner optimizes.
+    fn energy_at(&mut self, t: usize, banks: usize) -> f64 {
+        if let Some(&e) = self.energy_curve.get(&(t, banks)) {
+            return e;
+        }
+        let e = self.op_schedule(t, banks, self.nominal_rung_us).energy.total_j();
+        self.energy_curve.insert((t, banks), e);
+        e
+    }
+
+    /// The execution profile of one tenant inference at a partition size
+    /// and operating interval (memoized; the heavy lifting inside flows
+    /// through the evaluator's shared schedule cache).
+    fn op_schedule(&mut self, t: usize, banks: usize, interval_us: f64) -> OpSchedule {
+        let key = (t, banks, interval_us.to_bits());
+        if let Some(op) = self.op_cache.get(&key) {
+            return op.clone();
+        }
+        let mut nominal = self.template.clone();
+        nominal.cfg.buffer.num_banks = banks;
+        let base =
+            nominal.schedule_network_with(&self.specs[t].network, Some(self.eval.cache()), 1);
+        let refresh_now = RefreshModel { interval_us, kind: self.kind };
+        // Online reschedules hedge against further heating by overpricing
+        // refresh, exactly like the PR 3 runtime; accounting below uses
+        // the unweighted model.
+        let mut hedged = nominal.clone();
+        hedged.refresh = refresh_now;
+        hedged.model.costs.edram_refresh_pj *= self.config.reschedule_refresh_weight;
+        let layers: Vec<SchedLayer> =
+            self.specs[t].network.conv_layers().map(SchedLayer::from_conv).collect();
+
+        let mut op = OpSchedule {
+            time_us: 0.0,
+            energy: EnergyBreakdown::default(),
+            refresh_words: 0,
+            weight_reload_words: 0,
+            rescheduled_layers: 0,
+            flagged_banks: 0,
+        };
+        for (idx, base_layer) in base.layers.iter().enumerate() {
+            // Decision rule (PR 3): keep the base schedule iff it stays
+            // refresh-free under the operating interval.
+            let chosen = if crit_us(base_layer) < interval_us {
+                base_layer.clone()
+            } else {
+                op.rescheduled_layers += 1;
+                hedged.schedule_layer_memo(&layers[idx], self.eval.cache())
+            };
+            let words = layer_refresh_words(&chosen.sim, &nominal.cfg, &refresh_now);
+            let energy = self.template.model.layer_energy(&chosen.sim, words, &nominal.cfg);
+            let flags = LayerConfig::for_sim(&chosen.sim, &nominal.cfg, &refresh_now);
+            op.flagged_banks =
+                op.flagged_banks.max(flags.refresh_flags.iter().filter(|&&f| f).count());
+            op.time_us += chosen.sim.time_us;
+            op.energy += energy;
+            op.refresh_words += words;
+            op.weight_reload_words += chosen.sim.traffic.dram_weight_loads;
+        }
+        self.op_cache.insert(key, op.clone());
+        op
+    }
+
+    /// Recomputes the dynamic partition from the arrival rates observed
+    /// this epoch (initial call: the configured mix weights).
+    fn rebalance(&mut self) {
+        let n = self.tenants.len();
+        let mut rates: Vec<f64> = self.tenants.iter().map(|t| t.epoch_arrivals as f64).collect();
+        if rates.iter().all(|&r| r == 0.0) {
+            rates = self.specs.iter().map(|s| s.weight).collect();
+        }
+        for t in &mut self.tenants {
+            t.epoch_arrivals = 0;
+        }
+        let (total, min_banks, quantum) =
+            (self.total_banks, self.config.min_banks, self.config.bank_quantum);
+        let shares = greedy_split(total, n, min_banks, quantum, |t, b| {
+            rates[t] * (self.energy_at(t, b) - self.energy_at(t, b + quantum))
+        });
+        for (t, &b) in shares.iter().enumerate() {
+            self.tenants[t].banks = b;
+        }
+        self.rebalances += 1;
+    }
+
+    /// Admits one arrival (or drops it at the queue cap).
+    fn admit(&mut self, tenant: usize, arrival_us: f64) {
+        let rt = &mut self.tenants[tenant];
+        rt.offered += 1;
+        rt.epoch_arrivals += 1;
+        if rt.queue.len() >= self.config.queue_cap {
+            rt.admission_drops += 1;
+        } else {
+            let deadline_us = arrival_us + self.specs[tenant].deadline_slack * rt.isolated_us;
+            rt.queue.push_back(Request { arrival_us, deadline_us });
+        }
+    }
+
+    /// Drops queued requests whose deadline already passed.
+    fn purge_expired(&mut self) {
+        for rt in &mut self.tenants {
+            while rt.queue.front().is_some_and(|r| r.deadline_us < self.now_us) {
+                rt.queue.pop_front();
+                rt.deadline_drops += 1;
+            }
+        }
+    }
+
+    /// The tenant to dispatch next, per the queue policy (ties to the
+    /// lowest tenant index).
+    fn pick_tenant(&self) -> Option<usize> {
+        let keyed = |t: &TenantRuntime| {
+            t.queue.front().map(|r| match self.config.queue_policy {
+                QueuePolicy::Fifo => r.arrival_us,
+                QueuePolicy::Edf => r.deadline_us,
+            })
+        };
+        let mut best: Option<(usize, f64)> = None;
+        for (i, t) in self.tenants.iter().enumerate() {
+            if let Some(k) = keyed(t) {
+                if best.is_none_or(|(_, bk)| k < bk) {
+                    best = Some((i, k));
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Idles (zero power) until `t_us`, letting the die cool.
+    fn idle_to(&mut self, t_us: f64) {
+        let dt = t_us - self.now_us;
+        assert!(dt >= 0.0, "cannot idle backwards");
+        self.temp_c = self.thermal.step(self.temp_c, 0.0, dt);
+        self.now_us = t_us;
+        self.idle_us += dt;
+    }
+
+    /// Executes a batch for `tenant`: throttle, sense, rung, retune,
+    /// profile lookup, energy/thermal accounting, completions.
+    fn execute_batch(&mut self, tenant: usize, batch: Vec<Request>) {
+        // Thermal throttle (closed-form RC cooldown to the cap).
+        if self.temp_c > self.config.throttle_temp_c {
+            let amb = self.thermal.ambient_c;
+            let dt = self.thermal.tau_us
+                * ((self.temp_c - amb) / (self.config.throttle_temp_c - amb)).ln();
+            self.temp_c = self.config.throttle_temp_c;
+            self.now_us += dt;
+            self.throttle_us += dt;
+        }
+
+        // Sense → tolerable retention → ladder rung → divider.
+        let q = self.config.sensor_quantum_c;
+        let sensed_c = (self.temp_c / q).ceil() * q;
+        let tolerable_us = self.base_tolerable_us * scale_for_delta(self.thermal.delta_c(sensed_c));
+        let rung_us = ladder_rung_us(
+            self.nominal_interval_us,
+            tolerable_us * self.config.retention_margin,
+            self.config.ladder_steps_per_octave,
+        );
+        let divider = ClockDivider::for_interval(self.frequency_hz, rung_us);
+        let interval_us = divider.pulse_period_us(self.frequency_hz);
+        if divider.ratio() != self.tenants[tenant].divider_ratio {
+            self.tenants[tenant].divider_ratio = divider.ratio();
+            self.tenants[tenant].retunes += 1;
+        }
+        self.min_interval_us = self.min_interval_us.min(interval_us);
+
+        let banks = self.tenants[tenant].banks;
+        let op = self.op_schedule(tenant, banks, interval_us);
+        let b = batch.len() as f64;
+
+        // Weights stay resident across the batch: requests 2..B skip the
+        // weight DRAM loads.
+        let reload_j =
+            op.weight_reload_words as f64 * self.template.model.costs.ddr_access_pj * 1e-12;
+        let mut energy = EnergyBreakdown {
+            computing_j: op.energy.computing_j * b,
+            buffer_j: op.energy.buffer_j * b,
+            refresh_j: op.energy.refresh_j * b,
+            offchip_j: op.energy.offchip_j * b - (b - 1.0) * reload_j,
+        };
+        if energy.offchip_j < 0.0 {
+            energy.offchip_j = 0.0;
+        }
+        let time_us = op.time_us * b;
+        let power_w = energy.accelerator_j() / (time_us * 1e-6);
+        self.temp_c = self.thermal.step(self.temp_c, power_w, time_us);
+        self.peak_temp_c = self.peak_temp_c.max(self.temp_c);
+        self.now_us += time_us;
+
+        let words = op.refresh_words * batch.len() as u64;
+        self.energy += energy;
+        self.refresh_words += words;
+        let rt = &mut self.tenants[tenant];
+        rt.served += batch.len() as u64;
+        rt.batches += 1;
+        rt.rescheduled_layer_execs += op.rescheduled_layers * batch.len() as u64;
+        rt.flagged_banks_peak = rt.flagged_banks_peak.max(op.flagged_banks);
+        rt.energy += energy;
+        for r in &batch {
+            rt.latencies.push(self.now_us - r.arrival_us);
+        }
+    }
+
+    /// Runs the whole scenario — generate arrivals, serve until the
+    /// stream and the queues are empty — and returns the report.
+    pub fn run(mut self) -> ServeReport {
+        let weights: Vec<f64> = self.specs.iter().map(|s| s.weight).collect();
+        let arrivals = traffic::generate(
+            &weights,
+            self.config.traffic,
+            self.config.horizon_us,
+            self.config.seed,
+        );
+        let mut ai = 0usize;
+        let mut next_rebalance = self.config.rebalance_us;
+        if self.config.partition_policy == PartitionPolicy::Dynamic {
+            self.rebalance();
+        }
+        loop {
+            while ai < arrivals.len() && arrivals[ai].arrival_us <= self.now_us {
+                self.admit(arrivals[ai].tenant, arrivals[ai].arrival_us);
+                ai += 1;
+            }
+            if self.config.partition_policy == PartitionPolicy::Dynamic
+                && self.now_us >= next_rebalance
+            {
+                self.rebalance();
+                while next_rebalance <= self.now_us {
+                    next_rebalance += self.config.rebalance_us;
+                }
+            }
+            self.purge_expired();
+            match self.pick_tenant() {
+                Some(t) => {
+                    let take = self.specs[t].max_batch.min(self.tenants[t].queue.len());
+                    let batch: Vec<Request> = self.tenants[t].queue.drain(..take).collect();
+                    self.execute_batch(t, batch);
+                }
+                None => {
+                    if ai >= arrivals.len() {
+                        break;
+                    }
+                    let next_t = arrivals[ai].arrival_us;
+                    self.idle_to(next_t);
+                }
+            }
+        }
+        self.report()
+    }
+
+    /// Assembles the final report.
+    fn report(mut self) -> ServeReport {
+        let tenants: Vec<TenantReport> = self
+            .tenants
+            .iter_mut()
+            .zip(&self.specs)
+            .map(|(rt, spec)| TenantReport {
+                name: spec.network.name().to_string(),
+                weight: spec.weight,
+                banks: rt.banks,
+                isolated_us: rt.isolated_us,
+                offered: rt.offered,
+                served: rt.served,
+                batches: rt.batches,
+                admission_drops: rt.admission_drops,
+                deadline_drops: rt.deadline_drops,
+                retunes: rt.retunes,
+                rescheduled_layer_execs: rt.rescheduled_layer_execs,
+                flagged_banks_peak: rt.flagged_banks_peak,
+                divider_ratio: rt.divider_ratio,
+                latency: LatencyStats::of(&mut rt.latencies),
+                energy: rt.energy,
+            })
+            .collect();
+        let mut all: Vec<f64> =
+            self.tenants.iter().flat_map(|t| t.latencies.iter().copied()).collect();
+        let served: u64 = tenants.iter().map(|t| t.served).sum();
+        ServeReport {
+            design: self.config.design.label().to_string(),
+            queue_policy: self.config.queue_policy,
+            partition_policy: self.config.partition_policy,
+            traffic: self.config.traffic,
+            seed: self.config.seed,
+            horizon_us: self.config.horizon_us,
+            offered: tenants.iter().map(|t| t.offered).sum(),
+            served,
+            admission_drops: tenants.iter().map(|t| t.admission_drops).sum(),
+            deadline_drops: tenants.iter().map(|t| t.deadline_drops).sum(),
+            batches: tenants.iter().map(|t| t.batches).sum(),
+            retunes: tenants.iter().map(|t| t.retunes).sum(),
+            rescheduled_layer_execs: tenants.iter().map(|t| t.rescheduled_layer_execs).sum(),
+            rebalances: self.rebalances,
+            makespan_us: self.now_us,
+            idle_us: self.idle_us,
+            throttle_us: self.throttle_us,
+            latency: LatencyStats::of(&mut all),
+            energy: self.energy,
+            refresh_words: self.refresh_words,
+            peak_temp_c: self.peak_temp_c,
+            min_interval_us: self.min_interval_us,
+            nominal_interval_us: self.nominal_rung_us,
+            tenants,
+        }
+    }
+}
+
+/// Per-tenant slice of a [`ServeReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Network name.
+    pub name: String,
+    /// Configured mix weight.
+    pub weight: f64,
+    /// Bank share at the end of the run.
+    pub banks: usize,
+    /// Solo (full-buffer, nominal-interval) inference latency, µs.
+    pub isolated_us: f64,
+    /// Requests offered by the arrival stream.
+    pub offered: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Arrivals dropped at the queue cap.
+    pub admission_drops: u64,
+    /// Requests dropped for missing their deadline.
+    pub deadline_drops: u64,
+    /// Refresh-divider retunes.
+    pub retunes: u64,
+    /// Layer executions that ran an online-rescheduled configuration.
+    pub rescheduled_layer_execs: u64,
+    /// Most banks the refresh-optimized controller flagged in any layer.
+    pub flagged_banks_peak: usize,
+    /// Final programmed clock-divider ratio.
+    pub divider_ratio: u64,
+    /// Latency order statistics.
+    pub latency: LatencyStats,
+    /// Eq. 14 energy attributed to this tenant.
+    pub energy: EnergyBreakdown,
+}
+
+impl TenantReport {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":{},\"weight\":{},\"banks\":{},\"isolated_us\":{},",
+                "\"offered\":{},\"served\":{},\"batches\":{},\"admission_drops\":{},",
+                "\"deadline_drops\":{},\"retunes\":{},\"rescheduled_layer_execs\":{},",
+                "\"flagged_banks_peak\":{},\"divider_ratio\":{},\"latency\":{},",
+                "\"energy_j\":{},\"refresh_j\":{}}}"
+            ),
+            json_string(&self.name),
+            json_f64(self.weight),
+            self.banks,
+            json_f64(self.isolated_us),
+            self.offered,
+            self.served,
+            self.batches,
+            self.admission_drops,
+            self.deadline_drops,
+            self.retunes,
+            self.rescheduled_layer_execs,
+            self.flagged_banks_peak,
+            self.divider_ratio,
+            self.latency.to_json(),
+            json_f64(self.energy.total_j()),
+            json_f64(self.energy.refresh_j)
+        )
+    }
+}
+
+/// The summary of one serving run. [`ServeReport::to_json`] is
+/// byte-deterministic for a fixed configuration and seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Design label.
+    pub design: String,
+    /// Dispatch policy the run used.
+    pub queue_policy: QueuePolicy,
+    /// Partition policy the run used.
+    pub partition_policy: PartitionPolicy,
+    /// The arrival process.
+    pub traffic: TrafficModel,
+    /// Arrival-stream seed.
+    pub seed: u64,
+    /// Arrival horizon, µs.
+    pub horizon_us: f64,
+    /// Requests offered.
+    pub offered: u64,
+    /// Requests served.
+    pub served: u64,
+    /// Arrivals dropped at the queue cap.
+    pub admission_drops: u64,
+    /// Requests dropped for missing their deadline.
+    pub deadline_drops: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Refresh-divider retunes across tenants.
+    pub retunes: u64,
+    /// Layer executions on online-rescheduled configurations.
+    pub rescheduled_layer_execs: u64,
+    /// Dynamic-partition rebalances (0 under static partitioning).
+    pub rebalances: u64,
+    /// Time the last batch completed, µs.
+    pub makespan_us: f64,
+    /// Idle time (queues empty), µs.
+    pub idle_us: f64,
+    /// Idle time inserted by the thermal throttle, µs.
+    pub throttle_us: f64,
+    /// Latency order statistics over all served requests.
+    pub latency: LatencyStats,
+    /// Total Eq. 14 energy.
+    pub energy: EnergyBreakdown,
+    /// Total refresh operations.
+    pub refresh_words: u64,
+    /// Peak junction temperature, °C.
+    pub peak_temp_c: f64,
+    /// Tightest operating interval of the run, µs.
+    pub min_interval_us: f64,
+    /// Divider-quantized nominal interval, µs.
+    pub nominal_interval_us: f64,
+    /// Per-tenant slices.
+    pub tenants: Vec<TenantReport>,
+}
+
+impl ServeReport {
+    /// Served requests per second of makespan.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_us <= 0.0 {
+            0.0
+        } else {
+            self.served as f64 / (self.makespan_us * 1e-6)
+        }
+    }
+
+    /// Total energy per served inference, joules (0 when nothing served).
+    pub fn energy_per_inference_j(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.energy.total_j() / self.served as f64
+        }
+    }
+
+    /// Refresh share of the total energy.
+    pub fn refresh_share(&self) -> f64 {
+        let total = self.energy.total_j();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.energy.refresh_j / total
+        }
+    }
+
+    /// Requests dropped (any reason) per offered request.
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            (self.admission_drops + self.deadline_drops) as f64 / self.offered as f64
+        }
+    }
+
+    /// Serializes the run to a compact, deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let e = self.energy;
+        let tenants: Vec<String> = self.tenants.iter().map(TenantReport::to_json).collect();
+        format!(
+            concat!(
+                "{{\"design\":{},\"queue\":\"{}\",\"partition\":\"{}\",\"traffic\":\"{}\",",
+                "\"rate_rps\":{},\"seed\":{},\"horizon_us\":{},",
+                "\"offered\":{},\"served\":{},\"admission_drops\":{},\"deadline_drops\":{},",
+                "\"batches\":{},\"retunes\":{},\"rescheduled_layer_execs\":{},\"rebalances\":{},",
+                "\"makespan_us\":{},\"idle_us\":{},\"throttle_us\":{},",
+                "\"throughput_rps\":{},\"latency\":{},",
+                "\"energy\":{{\"computing_j\":{},\"buffer_j\":{},\"refresh_j\":{},\"offchip_j\":{}}},",
+                "\"energy_per_inference_j\":{},\"refresh_share\":{},\"refresh_words\":{},",
+                "\"peak_temp_c\":{},\"min_interval_us\":{},\"nominal_interval_us\":{},",
+                "\"tenants\":[{}]}}"
+            ),
+            json_string(&self.design),
+            self.queue_policy.label(),
+            self.partition_policy.label(),
+            self.traffic.label(),
+            json_f64(self.traffic.rate_rps()),
+            self.seed,
+            json_f64(self.horizon_us),
+            self.offered,
+            self.served,
+            self.admission_drops,
+            self.deadline_drops,
+            self.batches,
+            self.retunes,
+            self.rescheduled_layer_execs,
+            self.rebalances,
+            json_f64(self.makespan_us),
+            json_f64(self.idle_us),
+            json_f64(self.throttle_us),
+            json_f64(self.throughput_rps()),
+            self.latency.to_json(),
+            json_f64(e.computing_j),
+            json_f64(e.buffer_j),
+            json_f64(e.refresh_j),
+            json_f64(e.offchip_j),
+            json_f64(self.energy_per_inference_j()),
+            json_f64(self.refresh_share()),
+            self.refresh_words,
+            json_f64(self.peak_temp_c),
+            json_f64(self.min_interval_us),
+            json_f64(self.nominal_interval_us),
+            tenants.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alexnet_mix() -> Vec<TenantSpec> {
+        vec![TenantSpec::new(rana_zoo::alexnet(), 1.0)]
+    }
+
+    fn quick_config(seed: u64) -> ServeConfig {
+        let mut c = ServeConfig::paper(TrafficModel::Poisson { rate_rps: 120.0 }, seed);
+        c.horizon_us = 120_000.0;
+        c
+    }
+
+    #[test]
+    fn single_tenant_run_serves_and_accounts() {
+        let eval = Evaluator::paper_platform();
+        let r = Server::new(&eval, alexnet_mix(), quick_config(5)).run();
+        assert!(r.served > 0, "nothing served");
+        assert_eq!(r.offered, r.served + r.admission_drops + r.deadline_drops);
+        assert!(r.energy.total_j() > 0.0);
+        assert!(r.latency.p50_us > 0.0);
+        assert!(r.latency.p99_us >= r.latency.p50_us);
+        assert!(r.makespan_us >= r.horizon_us - r.tenants[0].isolated_us * 8.0);
+        assert_eq!(r.tenants[0].banks, 44, "solo tenant owns the whole buffer");
+        assert!(r.peak_temp_c > ThermalModel::embedded_65nm().ambient_c);
+    }
+
+    #[test]
+    fn report_is_byte_deterministic() {
+        let eval = Evaluator::paper_platform();
+        let a = Server::new(&eval, alexnet_mix(), quick_config(9)).run().to_json();
+        let b = Server::new(&eval, alexnet_mix(), quick_config(9)).run().to_json();
+        assert_eq!(a, b);
+        let c = Server::new(&eval, alexnet_mix(), quick_config(10)).run().to_json();
+        assert_ne!(a, c, "different seeds must produce different runs");
+    }
+
+    #[test]
+    fn dynamic_partition_respects_floor_and_capacity() {
+        let eval = Evaluator::paper_platform();
+        let specs = vec![
+            TenantSpec::new(rana_zoo::alexnet(), 0.7),
+            TenantSpec::new(rana_zoo::alexnet(), 0.3),
+        ];
+        let mut cfg = quick_config(3);
+        cfg.partition_policy = PartitionPolicy::Dynamic;
+        cfg.queue_policy = QueuePolicy::Edf;
+        let r = Server::new(&eval, specs, cfg).run();
+        assert!(r.rebalances >= 1);
+        let total: usize = r.tenants.iter().map(|t| t.banks).sum();
+        assert!(total <= 44);
+        assert!(r.tenants.iter().all(|t| t.banks >= 4));
+        assert!(r.served > 0);
+    }
+
+    #[test]
+    fn overload_drops_instead_of_unbounded_queueing() {
+        let eval = Evaluator::paper_platform();
+        let mut cfg = quick_config(7);
+        // Far beyond one accelerator's AlexNet capacity: must shed load.
+        cfg.traffic = TrafficModel::Poisson { rate_rps: 5_000.0 };
+        let r = Server::new(&eval, alexnet_mix(), cfg).run();
+        assert!(r.admission_drops + r.deadline_drops > 0, "overload must shed load");
+        // Deadlines gate dispatch, not completion: a request can finish up
+        // to one max_batch execution past its 8x-slack deadline.
+        assert!(r.latency.max_us <= (8.0 + 4.0) * r.tenants[0].isolated_us + 1e-6);
+    }
+
+    #[test]
+    fn batching_amortizes_weight_reloads() {
+        let eval = Evaluator::paper_platform();
+        let mut batched = quick_config(21);
+        batched.traffic = TrafficModel::Bursty {
+            rate_rps: 300.0,
+            burst_factor: 3.0,
+            burst_fraction: 0.25,
+            mean_burst_us: 10_000.0,
+        };
+        let mut unbatched = batched.clone();
+        let mut specs_b = alexnet_mix();
+        specs_b[0].max_batch = 4;
+        let mut specs_u = alexnet_mix();
+        specs_u[0].max_batch = 1;
+        unbatched.seed = batched.seed;
+        let rb = Server::new(&eval, specs_b, batched).run();
+        let ru = Server::new(&eval, specs_u, unbatched).run();
+        assert!(rb.batches < ru.batches, "batching should dispatch fewer, larger batches");
+        if rb.served == ru.served {
+            assert!(
+                rb.energy.offchip_j < ru.energy.offchip_j,
+                "resident weights must save off-chip energy"
+            );
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Deterministic request-stream generation: Poisson and Markov-modulated
+//! bursty arrivals over a weighted tenant mix.
+//!
+//! Streams are generated up front from a seeded PRNG — the serving loop
+//! never draws randomness itself, so two runs with the same seed see the
+//! same arrivals in the same order (the byte-determinism contract of
+//! `results/BENCH_serve.json`).
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// One request arrival, before admission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Index into the tenant mix.
+    pub tenant: usize,
+    /// Arrival time, µs since the start of the run.
+    pub arrival_us: f64,
+}
+
+/// The arrival process of the offered load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficModel {
+    /// Memoryless arrivals at a fixed mean rate.
+    Poisson {
+        /// Mean offered load, requests per second.
+        rate_rps: f64,
+    },
+    /// A two-state Markov-modulated Poisson process: bursts at
+    /// `burst_factor ×` the mean rate alternate with calm phases whose
+    /// rate is scaled down so the long-run average stays `rate_rps`.
+    Bursty {
+        /// Long-run mean offered load, requests per second.
+        rate_rps: f64,
+        /// Burst-phase rate multiplier (`> 1`).
+        burst_factor: f64,
+        /// Long-run fraction of time spent bursting (`0 < f < 1`, and
+        /// `f · burst_factor < 1` so the calm rate stays positive).
+        burst_fraction: f64,
+        /// Mean burst-phase dwell time, µs (exponentially distributed).
+        mean_burst_us: f64,
+    },
+}
+
+impl TrafficModel {
+    /// Long-run mean offered load, requests per second.
+    pub fn rate_rps(&self) -> f64 {
+        match *self {
+            TrafficModel::Poisson { rate_rps } | TrafficModel::Bursty { rate_rps, .. } => rate_rps,
+        }
+    }
+
+    /// Stable lowercase label (used in JSON and CSV output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficModel::Poisson { .. } => "poisson",
+            TrafficModel::Bursty { .. } => "bursty",
+        }
+    }
+
+    /// Same process shape at a different mean rate.
+    pub fn with_rate(&self, rate_rps: f64) -> TrafficModel {
+        match *self {
+            TrafficModel::Poisson { .. } => TrafficModel::Poisson { rate_rps },
+            TrafficModel::Bursty { burst_factor, burst_fraction, mean_burst_us, .. } => {
+                TrafficModel::Bursty { rate_rps, burst_factor, burst_fraction, mean_burst_us }
+            }
+        }
+    }
+}
+
+/// An exponential draw with the given mean (inverse-CDF of `1 − u`).
+fn exp_draw(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.random();
+    -(1.0 - u).ln() * mean
+}
+
+/// Picks a tenant by cumulative weight.
+fn pick_tenant(rng: &mut StdRng, weights: &[f64], total_weight: f64) -> usize {
+    let u: f64 = rng.random();
+    let mut acc = 0.0;
+    for (i, w) in weights.iter().enumerate() {
+        acc += w / total_weight;
+        if u < acc {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Generates the full arrival stream over `[0, horizon_us)`, in time order.
+///
+/// # Panics
+///
+/// Panics on an empty or non-positive weight mix, a non-positive rate or
+/// horizon, or bursty parameters outside their documented ranges.
+pub fn generate(weights: &[f64], model: TrafficModel, horizon_us: f64, seed: u64) -> Vec<Arrival> {
+    assert!(!weights.is_empty(), "tenant mix must not be empty");
+    assert!(weights.iter().all(|&w| w > 0.0), "tenant weights must be positive");
+    assert!(model.rate_rps() > 0.0, "offered load must be positive");
+    assert!(horizon_us > 0.0, "horizon must be positive");
+    let total_weight: f64 = weights.iter().sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    match model {
+        TrafficModel::Poisson { rate_rps } => {
+            let mean_us = 1e6 / rate_rps;
+            loop {
+                t += exp_draw(&mut rng, mean_us);
+                if t >= horizon_us {
+                    break;
+                }
+                out.push(Arrival {
+                    tenant: pick_tenant(&mut rng, weights, total_weight),
+                    arrival_us: t,
+                });
+            }
+        }
+        TrafficModel::Bursty { rate_rps, burst_factor, burst_fraction, mean_burst_us } => {
+            assert!(burst_factor > 1.0, "burst factor must exceed 1, got {burst_factor}");
+            assert!(
+                burst_fraction > 0.0 && burst_fraction < 1.0,
+                "burst fraction must be in (0, 1), got {burst_fraction}"
+            );
+            assert!(
+                burst_fraction * burst_factor < 1.0,
+                "burst fraction x factor must stay under 1 so the calm rate is positive"
+            );
+            assert!(mean_burst_us > 0.0, "mean burst dwell must be positive");
+            let burst_rate = rate_rps * burst_factor;
+            let calm_rate =
+                rate_rps * (1.0 - burst_fraction * burst_factor) / (1.0 - burst_fraction);
+            let mean_calm_us = mean_burst_us * (1.0 - burst_fraction) / burst_fraction;
+            let mut bursting = false;
+            let mut phase_end = exp_draw(&mut rng, mean_calm_us);
+            loop {
+                let rate = if bursting { burst_rate } else { calm_rate };
+                let dt = exp_draw(&mut rng, 1e6 / rate);
+                if t + dt >= phase_end {
+                    // No arrival in the rest of this phase (memorylessness:
+                    // restart the inter-arrival clock in the next phase).
+                    t = phase_end;
+                    bursting = !bursting;
+                    phase_end =
+                        t + exp_draw(&mut rng, if bursting { mean_burst_us } else { mean_calm_us });
+                } else {
+                    t += dt;
+                    out.push(Arrival {
+                        tenant: pick_tenant(&mut rng, weights, total_weight),
+                        arrival_us: t,
+                    });
+                }
+                if t >= horizon_us {
+                    break;
+                }
+            }
+            out.retain(|a| a.arrival_us < horizon_us);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_stream_is_deterministic_and_ordered() {
+        let w = [0.5, 0.3, 0.2];
+        let m = TrafficModel::Poisson { rate_rps: 500.0 };
+        let a = generate(&w, m, 1e6, 42);
+        let b = generate(&w, m, 1e6, 42);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for pair in a.windows(2) {
+            assert!(pair[1].arrival_us >= pair[0].arrival_us);
+        }
+        let c = generate(&w, m, 1e6, 43);
+        assert_ne!(a, c, "different seeds must draw different streams");
+    }
+
+    #[test]
+    fn poisson_rate_is_approximately_honored() {
+        let m = TrafficModel::Poisson { rate_rps: 1000.0 };
+        let a = generate(&[1.0], m, 4e6, 7);
+        // 4 s at 1000 rps -> ~4000 arrivals; Poisson sigma ~ 63.
+        assert!((3600..=4400).contains(&a.len()), "got {}", a.len());
+    }
+
+    #[test]
+    fn tenant_mix_tracks_weights() {
+        let w = [0.7, 0.3];
+        let a = generate(&w, TrafficModel::Poisson { rate_rps: 2000.0 }, 2e6, 11);
+        let first = a.iter().filter(|r| r.tenant == 0).count() as f64 / a.len() as f64;
+        assert!((first - 0.7).abs() < 0.05, "tenant-0 share {first}");
+    }
+
+    #[test]
+    fn bursty_keeps_the_long_run_rate_but_clumps() {
+        let m = TrafficModel::Bursty {
+            rate_rps: 1000.0,
+            burst_factor: 4.0,
+            burst_fraction: 0.2,
+            mean_burst_us: 20_000.0,
+        };
+        let a = generate(&[1.0], m, 8e6, 3);
+        let rate = a.len() as f64 / 8.0;
+        assert!((700.0..=1300.0).contains(&rate), "long-run rate {rate}");
+        // Clumping: the variance of arrivals per 10 ms window exceeds the
+        // Poisson variance (= mean) substantially.
+        let mut counts = vec![0usize; 800];
+        for r in &a {
+            counts[(r.arrival_us / 10_000.0) as usize] += 1;
+        }
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        let var =
+            counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / counts.len() as f64;
+        assert!(var > 1.5 * mean, "var {var} vs mean {mean}: not bursty");
+    }
+}

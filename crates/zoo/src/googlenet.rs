@@ -49,15 +49,105 @@ pub fn googlenet() -> Network {
         Layer::pool(PoolShape::new("pool2/3x3_s2", 192, 56, 56, 3, 2)),
     ];
     let modules = [
-        Inception { name: "inception_3a", in_ch: 192, hw: 28, b1: 64, b3r: 96, b3: 128, b5r: 16, b5: 32, proj: 32 },
-        Inception { name: "inception_3b", in_ch: 256, hw: 28, b1: 128, b3r: 128, b3: 192, b5r: 32, b5: 96, proj: 64 },
-        Inception { name: "inception_4a", in_ch: 480, hw: 14, b1: 192, b3r: 96, b3: 208, b5r: 16, b5: 48, proj: 64 },
-        Inception { name: "inception_4b", in_ch: 512, hw: 14, b1: 160, b3r: 112, b3: 224, b5r: 24, b5: 64, proj: 64 },
-        Inception { name: "inception_4c", in_ch: 512, hw: 14, b1: 128, b3r: 128, b3: 256, b5r: 24, b5: 64, proj: 64 },
-        Inception { name: "inception_4d", in_ch: 512, hw: 14, b1: 112, b3r: 144, b3: 288, b5r: 32, b5: 64, proj: 64 },
-        Inception { name: "inception_4e", in_ch: 528, hw: 14, b1: 256, b3r: 160, b3: 320, b5r: 32, b5: 128, proj: 128 },
-        Inception { name: "inception_5a", in_ch: 832, hw: 7, b1: 256, b3r: 160, b3: 320, b5r: 32, b5: 128, proj: 128 },
-        Inception { name: "inception_5b", in_ch: 832, hw: 7, b1: 384, b3r: 192, b3: 384, b5r: 48, b5: 128, proj: 128 },
+        Inception {
+            name: "inception_3a",
+            in_ch: 192,
+            hw: 28,
+            b1: 64,
+            b3r: 96,
+            b3: 128,
+            b5r: 16,
+            b5: 32,
+            proj: 32,
+        },
+        Inception {
+            name: "inception_3b",
+            in_ch: 256,
+            hw: 28,
+            b1: 128,
+            b3r: 128,
+            b3: 192,
+            b5r: 32,
+            b5: 96,
+            proj: 64,
+        },
+        Inception {
+            name: "inception_4a",
+            in_ch: 480,
+            hw: 14,
+            b1: 192,
+            b3r: 96,
+            b3: 208,
+            b5r: 16,
+            b5: 48,
+            proj: 64,
+        },
+        Inception {
+            name: "inception_4b",
+            in_ch: 512,
+            hw: 14,
+            b1: 160,
+            b3r: 112,
+            b3: 224,
+            b5r: 24,
+            b5: 64,
+            proj: 64,
+        },
+        Inception {
+            name: "inception_4c",
+            in_ch: 512,
+            hw: 14,
+            b1: 128,
+            b3r: 128,
+            b3: 256,
+            b5r: 24,
+            b5: 64,
+            proj: 64,
+        },
+        Inception {
+            name: "inception_4d",
+            in_ch: 512,
+            hw: 14,
+            b1: 112,
+            b3r: 144,
+            b3: 288,
+            b5r: 32,
+            b5: 64,
+            proj: 64,
+        },
+        Inception {
+            name: "inception_4e",
+            in_ch: 528,
+            hw: 14,
+            b1: 256,
+            b3r: 160,
+            b3: 320,
+            b5r: 32,
+            b5: 128,
+            proj: 128,
+        },
+        Inception {
+            name: "inception_5a",
+            in_ch: 832,
+            hw: 7,
+            b1: 256,
+            b3r: 160,
+            b3: 320,
+            b5r: 32,
+            b5: 128,
+            proj: 128,
+        },
+        Inception {
+            name: "inception_5b",
+            in_ch: 832,
+            hw: 7,
+            b1: 384,
+            b3r: 192,
+            b3: 384,
+            b5r: 48,
+            b5: 128,
+            proj: 128,
+        },
     ];
     for (i, m) in modules.iter().enumerate() {
         layers.extend(m.layers());

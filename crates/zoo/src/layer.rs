@@ -61,17 +61,8 @@ impl ConvShape {
         stride: usize,
         pad: usize,
     ) -> Self {
-        let shape = Self {
-            name: name.into(),
-            in_ch,
-            in_h,
-            in_w,
-            out_ch,
-            kernel,
-            stride,
-            pad,
-            groups: 1,
-        };
+        let shape =
+            Self { name: name.into(), in_ch, in_h, in_w, out_ch, kernel, stride, pad, groups: 1 };
         assert!(
             in_ch > 0 && in_h > 0 && in_w > 0 && out_ch > 0 && kernel > 0 && stride > 0,
             "conv dimensions must be positive: {shape:?}"
@@ -97,7 +88,12 @@ impl ConvShape {
     /// assert_eq!((fc.out_h(), fc.out_w()), (1, 1));
     /// assert_eq!(fc.weight_words(), 256 * 36 * 4096);
     /// ```
-    pub fn full_connection(name: impl Into<String>, in_ch: usize, in_hw: usize, out_features: usize) -> Self {
+    pub fn full_connection(
+        name: impl Into<String>,
+        in_ch: usize,
+        in_hw: usize,
+        out_features: usize,
+    ) -> Self {
         Self::new(name, in_ch, in_hw, in_hw, out_features, in_hw, 1, 0)
     }
 

@@ -15,7 +15,16 @@ fn ds_block(layers: &mut Vec<Layer>, idx: usize, in_ch: usize, out_ch: usize, hw
         ConvShape::new(format!("conv{idx}_dw"), in_ch, hw, hw, in_ch, 3, s, 1).with_groups(in_ch),
     ));
     let out_hw = hw / s;
-    layers.push(Layer::conv(ConvShape::new(format!("conv{idx}_pw"), in_ch, out_hw, out_hw, out_ch, 1, 1, 0)));
+    layers.push(Layer::conv(ConvShape::new(
+        format!("conv{idx}_pw"),
+        in_ch,
+        out_hw,
+        out_hw,
+        out_ch,
+        1,
+        1,
+        0,
+    )));
 }
 
 /// Builds the MobileNet-V1 (1.0×) CONV stack.

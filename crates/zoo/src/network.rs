@@ -69,7 +69,13 @@ impl Network {
 
 impl fmt::Display for Network {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} ({} layers, {} CONV):", self.name, self.layers.len(), self.conv_layers().count())?;
+        writeln!(
+            f,
+            "{} ({} layers, {} CONV):",
+            self.name,
+            self.layers.len(),
+            self.conv_layers().count()
+        )?;
         for layer in &self.layers {
             match layer.as_conv() {
                 Some(c) => writeln!(f, "  {c}")?,

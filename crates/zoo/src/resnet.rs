@@ -27,11 +27,47 @@ fn stage(
         let prefix = format!("res{stage_id}{bn}");
         let (n, hw, s) = if b == 0 { (in_ch, in_hw, first_stride) } else { (out_ch, out_hw, 1) };
         if b == 0 {
-            layers.push(Layer::conv(ConvShape::new(format!("{prefix}_branch1"), n, hw, hw, out_ch, 1, s, 0)));
+            layers.push(Layer::conv(ConvShape::new(
+                format!("{prefix}_branch1"),
+                n,
+                hw,
+                hw,
+                out_ch,
+                1,
+                s,
+                0,
+            )));
         }
-        layers.push(Layer::conv(ConvShape::new(format!("{prefix}_branch2a"), n, hw, hw, mid_ch, 1, s, 0)));
-        layers.push(Layer::conv(ConvShape::new(format!("{prefix}_branch2b"), mid_ch, out_hw, out_hw, mid_ch, 3, 1, 1)));
-        layers.push(Layer::conv(ConvShape::new(format!("{prefix}_branch2c"), mid_ch, out_hw, out_hw, out_ch, 1, 1, 0)));
+        layers.push(Layer::conv(ConvShape::new(
+            format!("{prefix}_branch2a"),
+            n,
+            hw,
+            hw,
+            mid_ch,
+            1,
+            s,
+            0,
+        )));
+        layers.push(Layer::conv(ConvShape::new(
+            format!("{prefix}_branch2b"),
+            mid_ch,
+            out_hw,
+            out_hw,
+            mid_ch,
+            3,
+            1,
+            1,
+        )));
+        layers.push(Layer::conv(ConvShape::new(
+            format!("{prefix}_branch2c"),
+            mid_ch,
+            out_hw,
+            out_hw,
+            out_ch,
+            1,
+            1,
+            0,
+        )));
     }
 }
 
@@ -46,7 +82,10 @@ pub fn resnet50() -> Network {
 ///
 /// Panics unless `hw` is a positive multiple of 32.
 pub fn resnet50_with_input(hw: usize) -> Network {
-    assert!(hw > 0 && hw.is_multiple_of(32), "ResNet input must be a positive multiple of 32, got {hw}");
+    assert!(
+        hw > 0 && hw.is_multiple_of(32),
+        "ResNet input must be a positive multiple of 32, got {hw}"
+    );
     let mut layers = vec![
         Layer::conv(ConvShape::new("conv1", 3, hw, hw, 64, 7, 2, 3)),
         Layer::pool(PoolShape::new("pool1", 64, hw / 2, hw / 2, 3, 2)),

@@ -100,7 +100,7 @@ pub fn words_to_kb(words: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{benchmarks, resnet50, vgg16};
+    use crate::{benchmarks, mobilenet_v1, resnet50, vgg16};
 
     #[test]
     fn resnet_layer_sizes_shrink_then_weights_grow() {
@@ -120,6 +120,37 @@ mod tests {
         let cap_words = (1.454e6 / 2.0) as u64;
         let oversized = layer_sizes(&vgg16()).iter().filter(|l| l.outputs > cap_words).count();
         assert!(oversized >= 2, "expected several oversized output layers, got {oversized}");
+    }
+
+    #[test]
+    fn mobilenet_depthwise_separation_shows_in_the_stats() {
+        let sizes = layer_sizes(&mobilenet_v1());
+        assert_eq!(sizes.len(), 27);
+        // A depthwise 3x3 carries ~1/out_ch of the weights of its paired
+        // pointwise 1x1 (9 vs out_ch weights per channel) at identical
+        // activation footprints on the input side.
+        let dw = sizes.iter().find(|l| l.name == "conv3_dw").unwrap();
+        let pw = sizes.iter().find(|l| l.name == "conv3_pw").unwrap();
+        assert!(dw.weights * 10 < pw.weights, "{} vs {}", dw.weights, pw.weights);
+        // Grouped convs must not inflate MaxStorage: the maxima still
+        // bound every layer.
+        let m = MaxStorage::of(&mobilenet_v1());
+        for l in &sizes {
+            assert!(l.inputs <= m.inputs && l.outputs <= m.outputs && l.weights <= m.weights);
+        }
+        // Weight-light overall: the largest MobileNet weight tensor
+        // (the 1024x1024 pointwise tail) is still under half of VGG's.
+        assert!(m.weights_mb() < MaxStorage::of(&vgg16()).weights_mb() / 2.0);
+    }
+
+    #[test]
+    fn mobilenet_activations_still_exceed_the_buffer() {
+        // The Figure 12 point carries over: depthwise separation cuts
+        // weights, not shallow activations — some outputs alone overflow
+        // the 1.454 MB buffer.
+        let cap_words = (1.454e6 / 2.0) as u64;
+        let over = layer_sizes(&mobilenet_v1()).iter().filter(|l| l.outputs > cap_words).count();
+        assert!(over >= 1, "expected oversized MobileNet outputs, got {over}");
     }
 
     #[test]

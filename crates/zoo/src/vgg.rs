@@ -22,7 +22,10 @@ pub fn vgg16() -> Network {
 ///
 /// Panics unless `hw` is a positive multiple of 32 (five 2× pools).
 pub fn vgg16_with_input(hw: usize) -> Network {
-    assert!(hw > 0 && hw.is_multiple_of(32), "VGG input must be a positive multiple of 32, got {hw}");
+    assert!(
+        hw > 0 && hw.is_multiple_of(32),
+        "VGG input must be a positive multiple of 32, got {hw}"
+    );
     let (d1, d2, d3, d4, d5) = (hw, hw / 2, hw / 4, hw / 8, hw / 16);
     let layers = vec![
         conv3x3("conv1_1", 3, d1, 64),
@@ -81,7 +84,9 @@ mod tests {
     #[test]
     fn spatial_dims_halve_per_group() {
         let net = vgg16();
-        for (l, hw) in [("conv1_1", 224), ("conv2_1", 112), ("conv3_1", 56), ("conv4_1", 28), ("conv5_1", 14)] {
+        for (l, hw) in
+            [("conv1_1", 224), ("conv2_1", 112), ("conv3_1", 56), ("conv4_1", 28), ("conv5_1", 14)]
+        {
             assert_eq!(net.conv(l).unwrap().in_h, hw);
         }
     }

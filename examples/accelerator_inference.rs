@@ -58,10 +58,19 @@ fn main() {
             fc.update(0.05);
         }
     }
-    println!("Trained a 2-conv CNN ({} parameters).", conv1.param_count() + conv2.param_count() + fc.param_count());
+    println!(
+        "Trained a 2-conv CNN ({} parameters).",
+        conv1.param_count() + conv2.param_count() + fc.param_count()
+    );
 
     // ---- inference with convolutions on the accelerator ---------------
-    let classify = |conv1: &Conv2d, conv2: &Conv2d, fc: &Linear, image: &[f32], cfg: &AcceleratorConfig, model: &BufferModel| -> usize {
+    let classify = |conv1: &Conv2d,
+                    conv2: &Conv2d,
+                    fc: &Linear,
+                    image: &[f32],
+                    cfg: &AcceleratorConfig,
+                    model: &BufferModel|
+     -> usize {
         let (h1, d1) = accel_conv(conv1, image, IMG, cfg, model);
         let (p1, d1p) = relu_pool(&h1, 6, d1);
         let (h2, d2) = accel_conv(conv2, &p1, d1p, cfg, model);
@@ -87,12 +96,24 @@ fn main() {
     slow.frequency_hz = 20e3;
     slow.buffer.num_banks = 2;
     slow.buffer.bank_words = 2048;
-    scenarios.push(("200 MHz, eDRAM, NO refresh", fast.clone(), BufferModel::Edram { dist: kong(), seed: 5, refresh: None }));
-    scenarios.push(("20 kHz (10000x slow), NO refresh", slow.clone(), BufferModel::Edram { dist: kong(), seed: 5, refresh: None }));
+    scenarios.push((
+        "200 MHz, eDRAM, NO refresh",
+        fast.clone(),
+        BufferModel::Edram { dist: kong(), seed: 5, refresh: None },
+    ));
+    scenarios.push((
+        "20 kHz (10000x slow), NO refresh",
+        slow.clone(),
+        BufferModel::Edram { dist: kong(), seed: 5, refresh: None },
+    ));
     scenarios.push((
         "20 kHz, conventional 45 us refresh",
         slow,
-        BufferModel::Edram { dist: kong(), seed: 5, refresh: Some(RefreshConfig::conventional(45.0)) },
+        BufferModel::Edram {
+            dist: kong(),
+            seed: 5,
+            refresh: Some(RefreshConfig::conventional(45.0)),
+        },
     ));
 
     let n = 20.min(test.len());
@@ -107,20 +128,54 @@ fn main() {
         println!("  {label:<38} accuracy {correct}/{n}");
     }
     println!("\nLifetime < retention time needs no refresh; decay corrupts; refresh rescues —");
-    println!("RANA's contribution is getting the first row's energy with the third row's safety margin.");
+    println!(
+        "RANA's contribution is getting the first row's energy with the third row's safety margin."
+    );
 }
 
-fn accel_conv(conv: &Conv2d, input: &[f32], in_h: usize, cfg: &AcceleratorConfig, model: &BufferModel) -> (Vec<f32>, usize) {
+fn accel_conv(
+    conv: &Conv2d,
+    input: &[f32],
+    in_h: usize,
+    cfg: &AcceleratorConfig,
+    model: &BufferModel,
+) -> (Vec<f32>, usize) {
     let (n, m, k, s, pad) = conv.dims();
     let out_h = conv.out_dim(in_h);
-    let layer = SchedLayer { name: "conv".into(), n, h: in_h, l: in_h, m, k, s, r: out_h, c: out_h, pad, groups: 1 };
+    let layer = SchedLayer {
+        name: "conv".into(),
+        n,
+        h: in_h,
+        l: in_h,
+        m,
+        k,
+        s,
+        r: out_h,
+        c: out_h,
+        pad,
+        groups: 1,
+    };
     let in_q = QFormat::for_max_abs(input.iter().fold(0.0f64, |a, &x| a.max(f64::from(x).abs())));
-    let w_q = QFormat::for_max_abs(conv.weights().iter().fold(0.0f64, |a, &x| a.max(f64::from(x).abs())));
+    let w_q =
+        QFormat::for_max_abs(conv.weights().iter().fold(0.0f64, |a, &x| a.max(f64::from(x).abs())));
     let out_q = QFormat::new(8);
     let inputs: Vec<i16> = input.iter().map(|&x| in_q.quantize(f64::from(x))).collect();
     let weights: Vec<i16> = conv.weights().iter().map(|&x| w_q.quantize(f64::from(x))).collect();
-    let formats = Formats { input_frac: in_q.frac_bits(), weight_frac: w_q.frac_bits(), output_frac: out_q.frac_bits() };
-    let r = execute_layer(&layer, Pattern::Od, Tiling::new(16, 16, 1, 16), cfg, &inputs, &weights, formats, model);
+    let formats = Formats {
+        input_frac: in_q.frac_bits(),
+        weight_frac: w_q.frac_bits(),
+        output_frac: out_q.frac_bits(),
+    };
+    let r = execute_layer(
+        &layer,
+        Pattern::Od,
+        Tiling::new(16, 16, 1, 16),
+        cfg,
+        &inputs,
+        &weights,
+        formats,
+        model,
+    );
     let mut out: Vec<f32> = r.outputs.iter().map(|&w| out_q.dequantize(w) as f32).collect();
     for (ch, &b) in conv.bias().iter().enumerate() {
         for px in &mut out[ch * out_h * out_h..(ch + 1) * out_h * out_h] {

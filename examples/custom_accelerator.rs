@@ -6,8 +6,7 @@
 //! Run with: `cargo run --release --example custom_accelerator`
 
 use rana_repro::accel::{
-    config::PeOrganization, AcceleratorConfig, BufferConfig, ControllerKind, Pattern,
-    RefreshModel,
+    config::PeOrganization, AcceleratorConfig, BufferConfig, ControllerKind, Pattern, RefreshModel,
 };
 use rana_repro::core::scheduler::Scheduler;
 use rana_repro::edram::{energy::BufferTech, RetentionDistribution};
@@ -26,8 +25,14 @@ fn main() {
         organization: PeOrganization::PixelColumns,
         buffer: BufferConfig { tech: BufferTech::Edram, num_banks: 128, bank_words: 16 * 1024 },
     };
-    println!("{}: {} MACs @ {:.0} MHz, {:.2} MB eDRAM in {} banks", cfg.name, cfg.mac_count(),
-        cfg.frequency_hz / 1e6, cfg.buffer.capacity_mb(), cfg.buffer.num_banks);
+    println!(
+        "{}: {} MACs @ {:.0} MHz, {:.2} MB eDRAM in {} banks",
+        cfg.name,
+        cfg.mac_count(),
+        cfg.frequency_hz / 1e6,
+        cfg.buffer.capacity_mb(),
+        cfg.buffer.num_banks
+    );
 
     // A denser process: the weakest cell holds 60 us, rate 1e-5 at 1 ms.
     let dist = RetentionDistribution::from_anchors(vec![
@@ -38,18 +43,26 @@ fn main() {
     ])
     .expect("valid anchors");
     let tolerable = dist.tolerable_retention_us(1e-5);
-    println!("Custom retention curve: typical {:.0} us, tolerable {tolerable:.0} us at rate 1e-5\n", dist.typical_retention_us());
+    println!(
+        "Custom retention curve: typical {:.0} us, tolerable {tolerable:.0} us at rate 1e-5\n",
+        dist.typical_retention_us()
+    );
 
     let net = zoo::googlenet();
     for (label, refresh, patterns) in [
-        ("conventional @ typical RT", RefreshModel {
-            interval_us: dist.typical_retention_us(),
-            kind: ControllerKind::Conventional,
-        }, vec![Pattern::Od]),
-        ("RANA* @ tolerable RT", RefreshModel {
-            interval_us: tolerable,
-            kind: ControllerKind::RefreshOptimized,
-        }, Pattern::RANA_SPACE.to_vec()),
+        (
+            "conventional @ typical RT",
+            RefreshModel {
+                interval_us: dist.typical_retention_us(),
+                kind: ControllerKind::Conventional,
+            },
+            vec![Pattern::Od],
+        ),
+        (
+            "RANA* @ tolerable RT",
+            RefreshModel { interval_us: tolerable, kind: ControllerKind::RefreshOptimized },
+            Pattern::RANA_SPACE.to_vec(),
+        ),
     ] {
         let mut scheduler = Scheduler::rana(cfg.clone(), refresh);
         scheduler.patterns = patterns;

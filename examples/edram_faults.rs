@@ -5,7 +5,9 @@
 //!
 //! Run with: `cargo run --release --example edram_faults`
 
-use rana_repro::edram::{controller::RefreshIssuer, EdramArray, RefreshConfig, RetentionDistribution};
+use rana_repro::edram::{
+    controller::RefreshIssuer, EdramArray, RefreshConfig, RetentionDistribution,
+};
 use rana_repro::fixq::QuantizedTensor;
 
 fn main() {
@@ -20,7 +22,12 @@ fn main() {
         mem.write_slice(0, tensor.words(), 0.0);
         let read_back = mem.read_slice(0, tensor.len(), age);
         let corrupted = read_back.iter().zip(tensor.words()).filter(|(a, b)| a != b).count();
-        println!("{age:>12.0} {:>16.2e} {:>14}/{}", dist.failure_rate(age), corrupted, tensor.len());
+        println!(
+            "{age:>12.0} {:>16.2e} {:>14}/{}",
+            dist.failure_rate(age),
+            corrupted,
+            tensor.len()
+        );
     }
 
     // The same tensor under a 45 us conventional refresh: intact forever.

@@ -49,5 +49,10 @@ fn main() {
         lw.disabled_flag_fraction() * 100.0
     );
     let first = &lw.layers[0];
-    println!("First layer {}: pattern {} flags {:?}", first.layer, first.pattern, &first.refresh_flags[..12]);
+    println!(
+        "First layer {}: pattern {} flags {:?}",
+        first.layer,
+        first.pattern,
+        &first.refresh_flags[..12]
+    );
 }

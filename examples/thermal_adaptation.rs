@@ -87,7 +87,11 @@ fn main() {
     println!("\nrefresh energy over the scenario:");
     println!("  static-45us            {:>10.3} uJ", static45.energy.refresh_j * 1e6);
     println!("  adaptive               {:>10.3} uJ", adaptive_j * 1e6);
-    println!("  static-oracle ({:.0} us) {:>9.3} uJ", oracle.interval_us, oracle.energy.refresh_j * 1e6);
+    println!(
+        "  static-oracle ({:.0} us) {:>9.3} uJ",
+        oracle.interval_us,
+        oracle.energy.refresh_j * 1e6
+    );
     assert!(
         adaptive_j <= 1.25 * oracle.energy.refresh_j,
         "adaptive must stay within 25% of the oracle"

@@ -1,8 +1,13 @@
-# `just check` = the PR gate: tier-1 tests + the scheduler benchmark.
+# `just check` = the PR gate: fmt + clippy + tier-1 tests + the
+# scheduler benchmark + the serving smoke run.
 
-# Build, run tier-1 tests, then the scheduler-engine benchmark.
+# Build, lint, run tier-1 tests, then the benchmark and serving smoke.
 check:
     ./scripts/check.sh
+
+# Formatting gate (same flags as `just check`).
+fmt:
+    cargo fmt --all -- --check
 
 # Build everything in release mode.
 build:
@@ -25,3 +30,8 @@ bench-sched:
 experiments:
     cargo build --release -p rana-bench
     ./target/release/exp_all
+
+# Serving-simulation smoke run (~0.1 s, writes nothing).
+serve-smoke:
+    cargo build --release -p rana-bench
+    ./target/release/exp_serve --smoke

@@ -6,6 +6,9 @@ cd "$(dirname "$0")/.."
 echo "== build (release) =="
 cargo build --release --workspace
 
+echo "== rustfmt (check) =="
+cargo fmt --all -- --check
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -14,5 +17,8 @@ cargo test -q
 
 echo "== scheduler engine benchmark =="
 ./target/release/exp_bench_sched
+
+echo "== serving smoke test =="
+./target/release/exp_serve --smoke
 
 echo "All checks passed."

@@ -16,6 +16,8 @@
 //!   injection (the retention-aware training method).
 //! * [`core`] — the RANA framework: energy model, hybrid-pattern scheduler,
 //!   refresh-flag generation, design points and the evaluation platform.
+//! * [`serve`] — multi-tenant inference serving: traffic generation, eDRAM
+//!   bank partitioning, deadline-aware queueing and the thermal closed loop.
 //!
 //! ## Quickstart
 //!
@@ -34,4 +36,5 @@ pub use rana_core as core;
 pub use rana_edram as edram;
 pub use rana_fixq as fixq;
 pub use rana_nn as nn;
+pub use rana_serve as serve;
 pub use rana_zoo as zoo;

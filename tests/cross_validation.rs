@@ -23,7 +23,8 @@ fn arb_layer() -> impl Strategy<Value = SchedLayer> {
 }
 
 fn arb_tiling() -> impl Strategy<Value = Tiling> {
-    (1usize..=24, 1usize..=24, 1usize..=8, 1usize..=16).prop_map(|(tm, tn, tr, tc)| Tiling::new(tm, tn, tr, tc))
+    (1usize..=24, 1usize..=24, 1usize..=8, 1usize..=16)
+        .prop_map(|(tm, tn, tr, tc)| Tiling::new(tm, tn, tr, tc))
 }
 
 proptest! {

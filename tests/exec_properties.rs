@@ -8,8 +8,8 @@ use rana_repro::accel::exec::{execute_layer, BufferModel, Formats};
 use rana_repro::accel::{trace::trace, AcceleratorConfig, Pattern, SchedLayer, Tiling};
 
 fn arb_layer() -> impl Strategy<Value = SchedLayer> {
-    (1usize..=5, 4usize..=10, 1usize..=6, prop_oneof![Just(1usize), Just(3)], 1usize..=2)
-        .prop_map(|(n, hw, m, k, s)| SchedLayer {
+    (1usize..=5, 4usize..=10, 1usize..=6, prop_oneof![Just(1usize), Just(3)], 1usize..=2).prop_map(
+        |(n, hw, m, k, s)| SchedLayer {
             name: "exec-prop".into(),
             n,
             h: hw,
@@ -21,7 +21,8 @@ fn arb_layer() -> impl Strategy<Value = SchedLayer> {
             c: (hw + 2 * (k / 2) - k) / s + 1,
             pad: k / 2,
             groups: 1,
-        })
+        },
+    )
 }
 
 fn reference_conv(layer: &SchedLayer, inputs: &[i16], weights: &[i16], f: Formats) -> Vec<i16> {
@@ -42,10 +43,15 @@ fn reference_conv(layer: &SchedLayer, inputs: &[i16], weights: &[i16], f: Format
                             if ix < 0 || ix >= layer.l as isize {
                                 continue;
                             }
-                            let x = i64::from(inputs[(ch * layer.h + iy as usize) * layer.l + ix as usize]);
-                            let w = i64::from(weights[((m * layer.n + ch) * layer.k + u) * layer.k + v]);
+                            let x = i64::from(
+                                inputs[(ch * layer.h + iy as usize) * layer.l + ix as usize],
+                            );
+                            let w = i64::from(
+                                weights[((m * layer.n + ch) * layer.k + u) * layer.k + v],
+                            );
                             let prod = x * w;
-                            acc += if shift > 0 { (prod + (1 << (shift - 1))) >> shift } else { prod };
+                            acc +=
+                                if shift > 0 { (prod + (1 << (shift - 1))) >> shift } else { prod };
                         }
                     }
                 }

@@ -10,7 +10,9 @@ use rana_repro::accel::{AcceleratorConfig, Pattern, SchedLayer, Tiling};
 use rana_repro::edram::{RefreshConfig, RetentionDistribution};
 use rana_repro::fixq::QFormat;
 use rana_repro::nn::data::{SyntheticDataset, IMG};
-use rana_repro::nn::layers::{Conv2d, Flatten, Layer, Linear, MaxPool2d, Relu, SoftmaxCrossEntropy};
+use rana_repro::nn::layers::{
+    Conv2d, Flatten, Layer, Linear, MaxPool2d, Relu, SoftmaxCrossEntropy,
+};
 use rana_repro::nn::{FaultContext, Tensor};
 
 /// A hand-rolled 2-conv CNN whose conv layers we can export.
@@ -95,7 +97,8 @@ fn conv_on_accelerator(
         groups: 1,
     };
     let in_q = QFormat::for_max_abs(input.iter().fold(0.0f64, |a, &x| a.max(f64::from(x).abs())));
-    let w_q = QFormat::for_max_abs(conv.weights().iter().fold(0.0f64, |a, &x| a.max(f64::from(x).abs())));
+    let w_q =
+        QFormat::for_max_abs(conv.weights().iter().fold(0.0f64, |a, &x| a.max(f64::from(x).abs())));
     // Output format sized generously for the accumulated range.
     let out_q = QFormat::new(8);
     let inputs: Vec<i16> = input.iter().map(|&x| in_q.quantize(f64::from(x))).collect();
@@ -105,7 +108,16 @@ fn conv_on_accelerator(
         weight_frac: w_q.frac_bits(),
         output_frac: out_q.frac_bits(),
     };
-    let result = execute_layer(&layer, Pattern::Od, Tiling::new(16, 16, 1, 16), cfg, &inputs, &weights, formats, model);
+    let result = execute_layer(
+        &layer,
+        Pattern::Od,
+        Tiling::new(16, 16, 1, 16),
+        cfg,
+        &inputs,
+        &weights,
+        formats,
+        model,
+    );
     let mut out: Vec<f32> = result.outputs.iter().map(|&w| out_q.dequantize(w) as f32).collect();
     for (ch, &b) in conv.bias().iter().enumerate() {
         for px in &mut out[ch * out_h * out_h..(ch + 1) * out_h * out_h] {
@@ -135,7 +147,12 @@ fn relu_pool(x: &[f32], c: usize, h: usize) -> (Vec<f32>, usize) {
     (out, oh)
 }
 
-fn classify_on_accelerator(net: &SmallCnn, image: &[f32], cfg: &AcceleratorConfig, model: &BufferModel) -> usize {
+fn classify_on_accelerator(
+    net: &SmallCnn,
+    image: &[f32],
+    cfg: &AcceleratorConfig,
+    model: &BufferModel,
+) -> usize {
     let (h1, d1) = conv_on_accelerator(&net.conv1, image, IMG, cfg, model, "conv1");
     let (p1, d1p) = relu_pool(&h1, 6, d1);
     let (h2, d2) = conv_on_accelerator(&net.conv2, &p1, d1p, cfg, model, "conv2");
@@ -190,7 +207,8 @@ fn trained_cnn_runs_on_the_accelerator() {
     // layer finishes far inside the 45 µs retention time, so results match
     // fixed-point classification.
     let cfg = AcceleratorConfig::paper_edram();
-    let edram = BufferModel::Edram { dist: RetentionDistribution::kong2008(), seed: 5, refresh: None };
+    let edram =
+        BufferModel::Edram { dist: RetentionDistribution::kong2008(), seed: 5, refresh: None };
     let n_img = 16.min(test.len());
     let mut agree = 0;
     let mut acc_correct = 0;
@@ -206,10 +224,7 @@ fn trained_cnn_runs_on_the_accelerator() {
             acc_correct += 1;
         }
     }
-    assert!(
-        agree as f64 / n_img as f64 >= 0.8,
-        "accelerator/host agreement {agree}/{n_img}"
-    );
+    assert!(agree as f64 / n_img as f64 >= 0.8, "accelerator/host agreement {agree}/{n_img}");
     assert!(
         acc_correct as f64 / n_img as f64 >= host_acc - 0.3,
         "accelerator accuracy collapsed: {acc_correct}/{n_img} vs host {host_acc}"
@@ -223,7 +238,8 @@ fn trained_cnn_runs_on_the_accelerator() {
     slow.frequency_hz = 20e3;
     slow.buffer.num_banks = 2;
     slow.buffer.bank_words = 2048;
-    let decayed = BufferModel::Edram { dist: RetentionDistribution::kong2008(), seed: 5, refresh: None };
+    let decayed =
+        BufferModel::Edram { dist: RetentionDistribution::kong2008(), seed: 5, refresh: None };
     let rescued = BufferModel::Edram {
         dist: RetentionDistribution::kong2008(),
         seed: 5,

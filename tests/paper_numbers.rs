@@ -1,7 +1,9 @@
 //! Reproduction checks: the paper's concrete numbers, asserted with
 //! tolerances (EXPERIMENTS.md records the exact measured values).
 
-use rana_repro::accel::{analyze, AcceleratorConfig, ControllerKind, Pattern, RefreshModel, SchedLayer, Tiling};
+use rana_repro::accel::{
+    analyze, AcceleratorConfig, ControllerKind, Pattern, RefreshModel, SchedLayer, Tiling,
+};
 use rana_repro::core::{designs::Design, evaluate::Evaluator};
 use rana_repro::edram::RetentionDistribution;
 use rana_repro::zoo;
@@ -40,7 +42,8 @@ fn figure7_three_layers_below_tolerable_retention() {
     let below: usize = zoo::resnet50()
         .conv_layers()
         .filter(|conv| {
-            analyze(&SchedLayer::from_conv(conv), Pattern::Id, natural, &cfg).lifetimes.input_us < 734.0
+            analyze(&SchedLayer::from_conv(conv), Pattern::Id, natural, &cfg).lifetimes.input_us
+                < 734.0
         })
         .count();
     assert_eq!(below, 3);
@@ -48,7 +51,8 @@ fn figure7_three_layers_below_tolerable_retention() {
     let below45: usize = zoo::resnet50()
         .conv_layers()
         .filter(|conv| {
-            analyze(&SchedLayer::from_conv(conv), Pattern::Id, natural, &cfg).lifetimes.input_us < 45.0
+            analyze(&SchedLayer::from_conv(conv), Pattern::Id, natural, &cfg).lifetimes.input_us
+                < 45.0
         })
         .count();
     assert_eq!(below45, 0);

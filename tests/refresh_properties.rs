@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 use rana_repro::accel::refresh::layer_refresh_words;
-use rana_repro::accel::{analyze, AcceleratorConfig, ControllerKind, Pattern, RefreshModel, SchedLayer, Tiling};
+use rana_repro::accel::{
+    analyze, AcceleratorConfig, ControllerKind, Pattern, RefreshModel, SchedLayer, Tiling,
+};
 
 fn arb_layer() -> impl Strategy<Value = SchedLayer> {
     (1usize..=64, 6usize..=28, 1usize..=64, prop_oneof![Just(1usize), Just(3)], 1usize..=2)
