@@ -4,7 +4,7 @@
 //! the subset of the proptest API the workspace's property tests use:
 //! the [`Strategy`] trait over ranges / tuples / [`Just`] / mapped
 //! strategies, `any::<T>()`, `proptest::collection::vec`, and the
-//! [`proptest!`] / [`prop_assert*`] macros. Cases are generated from a
+//! [`proptest!`] / `prop_assert*` macros. Cases are generated from a
 //! fixed-seed deterministic generator (override with the
 //! `RANA_PROPTEST_SEED` environment variable); failures report the case
 //! number and seed. Shrinking is intentionally not implemented — a
@@ -250,7 +250,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -334,6 +334,17 @@ pub fn execute_layer(
     // faults include bits a late refresh locked in — counted once, at the
     // refresh — so the realized rate reflects end-to-end corruption.
     let stats = mem.stats();
+    if rana_trace::enabled() {
+        rana_trace::emit(|| rana_trace::Event::ExecCompleted {
+            layer: layer.name.clone(),
+            cycles: clock_cycles,
+            reads: stats.reads,
+            refresh_words,
+            faults: stats.faults,
+        });
+        rana_trace::count("exec.layers", 1);
+        stats.trace_into("exec.buffer");
+    }
     FunctionalResult {
         outputs,
         cycles: clock_cycles,

@@ -81,7 +81,13 @@ pub trait Fingerprint {
     fn fingerprint_into(&self, h: &mut Fnv1a);
 
     /// The standalone 64-bit digest.
+    ///
+    /// Counted under `fingerprint.computed` when tracing is active, so a
+    /// telemetry report shows how much key derivation a sweep performs.
     fn fingerprint(&self) -> u64 {
+        if rana_trace::enabled() {
+            rana_trace::count("fingerprint.computed", 1);
+        }
         let mut h = Fnv1a::new();
         self.fingerprint_into(&mut h);
         h.finish()

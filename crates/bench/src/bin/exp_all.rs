@@ -25,6 +25,7 @@ fn main() {
         ("exp_bench_sched", &[]),
         ("exp_thermal", &[]),
         ("exp_serve", &[]),
+        ("exp_trace", &[]),
     ];
     for (name, args) in experiments {
         let status = Command::new(dir.join(name))

@@ -774,6 +774,31 @@ impl AdaptiveRuntime {
         let flags = LayerConfig::for_sim(&chosen.sim, &self.cfg, &refresh_now);
         let flagged_banks = flags.refresh_flags.iter().filter(|&&f| f).count();
 
+        if rana_trace::enabled() {
+            let at = format!("pass{}/{}", pass, chosen.sim.layer);
+            rana_trace::emit(|| rana_trace::Event::ThermalSample {
+                at: at.clone(),
+                temp_c: sensed_c,
+                scaled_retention_us: tolerable_us,
+            });
+            rana_trace::emit(|| rana_trace::Event::RefreshDecision {
+                scope: at,
+                banks: flagged_banks,
+                divider: self.divider.ratio(),
+                rung_us: interval_us,
+                refresh_words,
+                reason: if retuned {
+                    format!("retune+{}", source.label())
+                } else {
+                    source.label().to_string()
+                },
+            });
+            rana_trace::count("adaptive.layers", 1);
+            if retuned {
+                rana_trace::count("adaptive.retunes", 1);
+            }
+        }
+
         let time_us = chosen.sim.time_us;
         let power_w = energy.accelerator_j() / (time_us * 1e-6);
         self.temp_c = self.thermal.step(start_temp_c, power_w, time_us);

@@ -32,6 +32,17 @@ impl EnergyBreakdown {
         self.computing_j + self.buffer_j + self.refresh_j
     }
 
+    /// This breakdown as a telemetry [`rana_trace::EnergyLedger`] (the
+    /// same four Eq. 14 components, in plain-data form for event sinks).
+    pub fn ledger(&self) -> rana_trace::EnergyLedger {
+        rana_trace::EnergyLedger {
+            computing_j: self.computing_j,
+            buffer_j: self.buffer_j,
+            refresh_j: self.refresh_j,
+            offchip_j: self.offchip_j,
+        }
+    }
+
     /// This breakdown scaled so that `reference` is 1.0 (the normalized
     /// bars of Figures 15-19).
     pub fn normalized_to(&self, reference_j: f64) -> EnergyBreakdown {

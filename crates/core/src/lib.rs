@@ -33,6 +33,8 @@
 //! assert!(sram.total.refresh_j == 0.0);
 //! ```
 
+pub use rana_trace as trace;
+
 pub mod adaptive;
 pub mod config_gen;
 pub mod designs;

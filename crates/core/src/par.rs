@@ -59,8 +59,19 @@ where
 {
     let workers = threads.max(1).min(items.len().max(1));
     if workers <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
+        return rana_trace::span("par.map_inline", || items.iter().map(&f).collect());
     }
+    rana_trace::span("par.map", || par_map_pooled(items, workers, f))
+}
+
+/// The multi-worker body of [`par_map_with`], separated so the span hook
+/// times exactly the fan-out/join.
+fn par_map_pooled<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let next = AtomicUsize::new(0);
     let f = &f;
     let next = &next;
@@ -122,18 +133,30 @@ impl ScheduleCache {
     }
 
     /// Looks up a finished search, counting the hit or miss.
+    ///
+    /// When tracing is active each lookup also emits a
+    /// [`rana_trace::Event::CacheLookup`] and bumps the
+    /// `cache.schedule.{hit,miss}` counters. Lookups from parallel
+    /// workers emit in completion order, so the event *order* is only
+    /// deterministic at one worker thread (`RANA_THREADS=1`); the
+    /// counters are order-free and deterministic at any thread count.
     pub fn get(&self, key: u64) -> Option<LayerSchedule> {
         let found = self.shard(key).lock().expect("cache shard poisoned").get(&key).cloned();
-        match found {
-            Some(s) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(s)
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+        let hit = found.is_some();
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
         }
+        if rana_trace::enabled() {
+            rana_trace::count(if hit { "cache.schedule.hit" } else { "cache.schedule.miss" }, 1);
+            rana_trace::emit(|| rana_trace::Event::CacheLookup {
+                cache: "schedule".to_string(),
+                fingerprint: key,
+                hit,
+            });
+        }
+        found
     }
 
     /// Stores a finished search. Last write wins; concurrent writers for

@@ -215,19 +215,28 @@ impl Scheduler {
     fn search_layer(&self, layer: &SchedLayer, prune: bool) -> LayerSchedule {
         let prune = prune && self.bandwidth.is_none();
         let mut best: Option<(LayerSchedule, bool)> = None;
+        let mut evaluated = 0u64;
+        let mut pruned = 0u64;
         for (pattern, tiling) in self.candidate_space(layer) {
             if prune {
                 if let Some((b, _)) = &best {
                     if self.energy_lower_bound(layer, pattern, tiling) > b.energy.total_j() * 1.01 {
+                        pruned += 1;
                         continue;
                     }
                 }
             }
+            evaluated += 1;
             let cand = self.candidate(layer, pattern, tiling);
             let cand_ok = self.meets_perf(&cand);
             if Self::improves(&best, &cand, cand_ok) {
                 best = Some((cand, cand_ok));
             }
+        }
+        if rana_trace::enabled() {
+            rana_trace::count("scheduler.searches", 1);
+            rana_trace::count("scheduler.candidates_evaluated", evaluated);
+            rana_trace::count("scheduler.candidates_pruned", pruned);
         }
         best.expect("tiling candidate list is never empty").0
     }
@@ -329,6 +338,26 @@ impl Scheduler {
         result
     }
 
+    /// Emits one finalized [`rana_trace::Event::ScheduleChosen`] per
+    /// layer. Runs serially over the assembled schedule *after*
+    /// forwarding, so the emitted energies are the ones the evaluator
+    /// totals fold (the per-run trace ledger reconciles with `Evaluator`)
+    /// and the event order is layer order at any thread count.
+    fn trace_network(sched: &NetworkSchedule) {
+        if !rana_trace::enabled() {
+            return;
+        }
+        for l in &sched.layers {
+            rana_trace::emit(|| rana_trace::Event::ScheduleChosen {
+                network: sched.network.clone(),
+                layer: l.sim.layer.clone(),
+                pattern: l.sim.pattern.to_string(),
+                tiling: [l.sim.tiling.tm, l.sim.tiling.tn, l.sim.tiling.tr, l.sim.tiling.tc],
+                energy: l.energy.ledger(),
+            });
+        }
+    }
+
     /// Schedules every CONV layer of a network, then applies inter-layer
     /// activation forwarding.
     pub fn schedule_network(&self, net: &Network) -> NetworkSchedule {
@@ -337,7 +366,9 @@ impl Scheduler {
         if self.interlayer_forwarding {
             self.apply_forwarding(net, &mut layers);
         }
-        NetworkSchedule { network: net.name().to_string(), layers }
+        let sched = NetworkSchedule { network: net.name().to_string(), layers };
+        Self::trace_network(&sched);
+        sched
     }
 
     /// [`Self::schedule_network`] with every layer searched exhaustively
@@ -351,7 +382,9 @@ impl Scheduler {
         if self.interlayer_forwarding {
             self.apply_forwarding(net, &mut layers);
         }
-        NetworkSchedule { network: net.name().to_string(), layers }
+        let sched = NetworkSchedule { network: net.name().to_string(), layers };
+        Self::trace_network(&sched);
+        sched
     }
 
     /// The parallel + memoized network engine. Produces a schedule
@@ -406,7 +439,9 @@ impl Scheduler {
         if self.interlayer_forwarding {
             self.apply_forwarding(net, &mut layers);
         }
-        NetworkSchedule { network: net.name().to_string(), layers }
+        let sched = NetworkSchedule { network: net.name().to_string(), layers };
+        Self::trace_network(&sched);
+        sched
     }
 
     /// Inter-layer activation residency: when a layer's activations fit in

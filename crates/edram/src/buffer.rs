@@ -67,6 +67,21 @@ impl BankAllocation {
 
     /// Builds per-bank refresh flags: a bank's flag is set iff its data type
     /// `needs_refresh`; unused banks are always disabled (paper §IV-D2).
+    ///
+    /// The refresh-optimized controller's per-layer decision in miniature —
+    /// here a layer whose weights are short-lived refreshes only the
+    /// input/output banks:
+    ///
+    /// ```
+    /// use rana_edram::{DataType, UnifiedBuffer};
+    ///
+    /// let buf = UnifiedBuffer::new(8, 1024);
+    /// // 2 input banks, 1 output bank, 1 weight bank; 4 banks unused.
+    /// let alloc = buf.allocate(2048, 1024, 1024).unwrap();
+    /// let flags = alloc.refresh_flags(|ty| ty != DataType::Weight);
+    /// assert_eq!(flags.iter().filter(|&&f| f).count(), 3);
+    /// assert_eq!(flags.len(), 8); // weight + unused banks stay unflagged
+    /// ```
     pub fn refresh_flags(&self, needs_refresh: impl Fn(DataType) -> bool) -> Vec<bool> {
         let mut flags = vec![false; self.total_banks];
         for ty in DataType::ALL {

@@ -33,6 +33,16 @@ impl ClockDivider {
     /// `ref_clock_hz` clock. Rounds down (a slightly early refresh is always
     /// safe) but never below 1.
     ///
+    /// ```
+    /// use rana_edram::ClockDivider;
+    ///
+    /// // 734 µs tolerable retention on a 500 MHz reference clock.
+    /// let div = ClockDivider::for_interval(500e6, 734.0);
+    /// assert_eq!(div.ratio(), 367_000);
+    /// // Rounding down means the realized period never exceeds the target.
+    /// assert!(div.pulse_period_us(500e6) <= 734.0);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics unless both arguments are positive.

@@ -36,6 +36,8 @@
 //! assert!((t - 734.0).abs() < 1.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bank;
 pub mod binning;
 pub mod buffer;

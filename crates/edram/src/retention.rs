@@ -113,6 +113,20 @@ impl RetentionDistribution {
     /// `rate` — the *tolerable retention time* for a network trained to
     /// tolerate `rate` (paper §IV-B).
     ///
+    /// Composed with [`Self::at_temperature_delta`] this is the retention
+    /// lookup at an operating temperature — the quantity the thermal loop
+    /// re-derives at every sensed boundary (retention roughly halves per
+    /// +10 °C):
+    ///
+    /// ```
+    /// use rana_edram::RetentionDistribution;
+    ///
+    /// let dist = RetentionDistribution::kong2008();
+    /// let nominal_us = dist.tolerable_retention_us(1e-5); // ≈ 734 µs
+    /// let hot_us = dist.at_temperature_delta(20.0).tolerable_retention_us(1e-5);
+    /// assert!((hot_us / nominal_us - 0.25).abs() < 0.01); // two octaves down
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics unless `rate` is within `(0, 1]`.

@@ -20,6 +20,32 @@ impl MemoryStats {
     pub fn accesses(&self) -> u64 {
         self.reads + self.writes
     }
+
+    /// Folds these counters into the active telemetry session (if any)
+    /// under `prefix` — `{prefix}.reads`, `.writes`, `.refresh_words`,
+    /// `.faults`. Memory models are below the trace-worthy call
+    /// granularity (a word access is nanoseconds), so stats are pushed in
+    /// bulk at run boundaries instead of emitting per-access events.
+    ///
+    /// ```
+    /// use rana_edram::stats::MemoryStats;
+    ///
+    /// let session = rana_trace::Session::start(rana_trace::TraceConfig::CountersOnly);
+    /// let stats = MemoryStats { reads: 10, writes: 4, refresh_words: 2, faults: 1 };
+    /// stats.trace_into("buffer");
+    /// let report = session.finish();
+    /// assert_eq!(report.counter("buffer.reads"), 10);
+    /// assert_eq!(report.counter("buffer.faults"), 1);
+    /// ```
+    pub fn trace_into(&self, prefix: &str) {
+        if !rana_trace::enabled() {
+            return;
+        }
+        rana_trace::count(&format!("{prefix}.reads"), self.reads);
+        rana_trace::count(&format!("{prefix}.writes"), self.writes);
+        rana_trace::count(&format!("{prefix}.refresh_words"), self.refresh_words);
+        rana_trace::count(&format!("{prefix}.faults"), self.faults as u64);
+    }
 }
 
 impl AddAssign for MemoryStats {

@@ -193,6 +193,15 @@ impl Fixed {
 
     /// The accelerator's multiply-accumulate: `acc + self * rhs`, with the
     /// product rescaled into `acc`'s format before the saturating add.
+    ///
+    /// ```
+    /// use rana_fixq::{Fixed, QFormat};
+    ///
+    /// let q = QFormat::new(8);
+    /// let (x, w) = (Fixed::from_f64(1.5, q), Fixed::from_f64(2.0, q));
+    /// let acc = Fixed::from_f64(0.25, q);
+    /// assert_eq!(x.mac(w, acc).to_f64(), 3.25); // 0.25 + 1.5 * 2.0
+    /// ```
     pub fn mac(self, rhs: Fixed, acc: Fixed) -> Fixed {
         let product = i64::from(self.raw) * i64::from(rhs.raw);
         // Rescale the product (frac = self.f + rhs.f) into acc's format.

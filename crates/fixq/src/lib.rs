@@ -30,6 +30,8 @@
 //! assert!(injected > 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bits;
 pub mod fixed;
 pub mod quant;

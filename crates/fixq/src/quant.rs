@@ -92,6 +92,18 @@ impl QuantizedTensor {
 }
 
 /// Quantizes a slice to raw words under `format`.
+///
+/// Values representable in `format` round-trip exactly through
+/// [`dequantize_slice`]:
+///
+/// ```
+/// use rana_fixq::{dequantize_slice, quantize_slice, QFormat};
+///
+/// let q = QFormat::new(8); // Q7.8: resolution 1/256
+/// let data = [0.5f32, -1.25, 3.0];
+/// let words = quantize_slice(&data, q);
+/// assert_eq!(dequantize_slice(&words, q), data);
+/// ```
 pub fn quantize_slice(data: &[f32], format: QFormat) -> Vec<i16> {
     data.iter().map(|&x| format.quantize(f64::from(x))).collect()
 }

@@ -459,7 +459,8 @@ impl<'a> Server<'a> {
         );
         let divider = ClockDivider::for_interval(self.frequency_hz, rung_us);
         let interval_us = divider.pulse_period_us(self.frequency_hz);
-        if divider.ratio() != self.tenants[tenant].divider_ratio {
+        let retuned = divider.ratio() != self.tenants[tenant].divider_ratio;
+        if retuned {
             self.tenants[tenant].divider_ratio = divider.ratio();
             self.tenants[tenant].retunes += 1;
         }
@@ -468,6 +469,37 @@ impl<'a> Server<'a> {
         let banks = self.tenants[tenant].banks;
         let op = self.op_schedule(tenant, banks, interval_us);
         let b = batch.len() as f64;
+
+        if rana_trace::enabled() {
+            let name = self.specs[tenant].network.name().to_string();
+            // Tightest remaining slack in the batch at the moment of
+            // dispatch (can be negative only transiently: expired requests
+            // were purged before dispatch).
+            let slack_us =
+                batch.iter().map(|r| r.deadline_us - self.now_us).fold(f64::INFINITY, f64::min);
+            rana_trace::emit(|| rana_trace::Event::TenantDispatch {
+                tenant: name.clone(),
+                batch: batch.len(),
+                deadline_slack_us: slack_us,
+            });
+            rana_trace::emit(|| rana_trace::Event::ThermalSample {
+                at: format!("serve/{name}"),
+                temp_c: sensed_c,
+                scaled_retention_us: tolerable_us,
+            });
+            if retuned {
+                rana_trace::emit(|| rana_trace::Event::RefreshDecision {
+                    scope: format!("serve/{name}"),
+                    banks: op.flagged_banks,
+                    divider: divider.ratio(),
+                    rung_us: interval_us,
+                    refresh_words: op.refresh_words,
+                    reason: "retune".to_string(),
+                });
+            }
+            rana_trace::count("serve.batches", 1);
+            rana_trace::count("serve.requests", batch.len() as u64);
+        }
 
         // Weights stay resident across the batch: requests 2..B skip the
         // weight DRAM loads.

@@ -29,6 +29,8 @@
 //! assert_eq!(layer_a.out_h(), 14);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod layer;
 pub mod network;
 pub mod stats;

@@ -21,6 +21,10 @@ test:
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
 
+# Rustdoc gate (same flags as `just check`): broken links and missing docs fail.
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 # Scheduler-engine benchmark only (writes results/BENCH_sched.json).
 bench-sched:
     cargo build --release -p rana-bench
