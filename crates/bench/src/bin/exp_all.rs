@@ -26,6 +26,7 @@ fn main() {
         ("exp_thermal", &[]),
         ("exp_serve", &[]),
         ("exp_trace", &[]),
+        ("exp_metrics", &[]),
     ];
     for (name, args) in experiments {
         let status = Command::new(dir.join(name))

@@ -255,7 +255,7 @@ fn main() {
             let rep = &r.report;
             rep.tenants.iter().map(move |t| {
                 format!(
-                    "{},{},{},{},{},{},{},{},{},{},{:.1},{:.6}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.1},{:.1},{:.6}",
                     r.name,
                     rep.queue_policy.label(),
                     rep.partition_policy.label(),
@@ -265,8 +265,11 @@ fn main() {
                     t.served,
                     t.admission_drops,
                     t.deadline_drops,
+                    t.late_served,
                     t.retunes,
+                    t.deadline_miss_rate(),
                     t.latency.p99_us,
+                    t.queue_wait.p99_us,
                     t.energy.total_j() * 1e3
                 )
             })
@@ -274,7 +277,7 @@ fn main() {
         .collect();
     write_csv(
         "serve_tenants.csv",
-        "scenario,queue,partition,tenant,banks,offered,served,admission_drops,deadline_drops,retunes,p99_us,energy_mj",
+        "scenario,queue,partition,tenant,banks,offered,served,admission_drops,deadline_drops,late_served,retunes,deadline_miss_rate,p99_us,queue_wait_p99_us,energy_mj",
         &tenant_rows,
     );
 

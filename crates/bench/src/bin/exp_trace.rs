@@ -79,6 +79,7 @@ fn run_serve(seed: u64) -> TelemetryReport {
 
 fn main() {
     banner("BENCH trace", "Telemetry layer: traced AlexNet sweep + serve run, ledger reconciled");
+    let strict = std::env::args().any(|a| a == "--strict");
     // Event *order* from parallel workers is only deterministic with one
     // worker, so the traced artifacts pin the pool width.
     std::env::set_var("RANA_THREADS", "1");
@@ -134,5 +135,19 @@ fn main() {
         }
     }
     println!("wrote results/trace_alexnet.jsonl, results/trace_serve.jsonl");
+
+    // A nonzero drop count means a truncated event stream: the JSONL
+    // files cannot be trusted as complete. Warn always, fail in --strict.
+    let dropped = sweep.events_dropped + serve.events_dropped;
+    if dropped > 0 {
+        eprintln!(
+            "warning: {dropped} events dropped by sinks \
+             (sweep {}, serve {}) — trace files are truncated",
+            sweep.events_dropped, serve.events_dropped
+        );
+        if strict {
+            std::process::exit(1);
+        }
+    }
     println!("\nTelemetry ledger reconciles with the evaluator to within {TOLERANCE:.0e}.");
 }

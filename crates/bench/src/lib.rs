@@ -4,6 +4,7 @@
 //! rows/series, absolute numbers from our simulator (EXPERIMENTS.md records
 //! paper-vs-measured side by side).
 
+pub mod json;
 pub mod svg;
 
 use rana_core::designs::Design;

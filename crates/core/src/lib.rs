@@ -33,6 +33,7 @@
 //! assert!(sram.total.refresh_j == 0.0);
 //! ```
 
+pub use rana_metrics as metrics;
 pub use rana_trace as trace;
 
 pub mod adaptive;

@@ -184,6 +184,8 @@ struct TenantRuntime {
     flagged_banks_peak: usize,
     energy: EnergyBreakdown,
     latencies: Vec<f64>,
+    queue_waits: Vec<f64>,
+    late_served: u64,
 }
 
 /// The serving simulator. Build with [`Server::new`], drive to completion
@@ -398,10 +400,25 @@ impl<'a> Server<'a> {
 
     /// Drops queued requests whose deadline already passed.
     fn purge_expired(&mut self) {
-        for rt in &mut self.tenants {
+        for (i, rt) in self.tenants.iter_mut().enumerate() {
             while rt.queue.front().is_some_and(|r| r.deadline_us < self.now_us) {
                 rt.queue.pop_front();
                 rt.deadline_drops += 1;
+                if rana_metrics::enabled() {
+                    let spec = rana_metrics::SloSpec::from_deadline(
+                        self.specs[i].deadline_slack * rt.isolated_us,
+                    );
+                    rana_metrics::slo_observe(
+                        self.specs[i].network.name(),
+                        &spec,
+                        rana_metrics::SloObservation {
+                            latency_us: None,
+                            queue_wait_us: None,
+                            missed_deadline: true,
+                            now_us: self.now_us,
+                        },
+                    );
+                }
             }
         }
     }
@@ -501,6 +518,10 @@ impl<'a> Server<'a> {
             rana_trace::count("serve.requests", batch.len() as u64);
         }
 
+        // Queue wait ends here: the batch is committed to the engine once
+        // the throttle cooldown and retune are done.
+        let dispatch_us = self.now_us;
+
         // Weights stay resident across the batch: requests 2..B skip the
         // weight DRAM loads.
         let reload_j =
@@ -523,14 +544,48 @@ impl<'a> Server<'a> {
         let words = op.refresh_words * batch.len() as u64;
         self.energy += energy;
         self.refresh_words += words;
+        let spec = &self.specs[tenant];
         let rt = &mut self.tenants[tenant];
         rt.served += batch.len() as u64;
         rt.batches += 1;
         rt.rescheduled_layer_execs += op.rescheduled_layers * batch.len() as u64;
         rt.flagged_banks_peak = rt.flagged_banks_peak.max(op.flagged_banks);
         rt.energy += energy;
+        let slo = rana_metrics::enabled()
+            .then(|| rana_metrics::SloSpec::from_deadline(spec.deadline_slack * rt.isolated_us));
         for r in &batch {
-            rt.latencies.push(self.now_us - r.arrival_us);
+            let latency_us = self.now_us - r.arrival_us;
+            let wait_us = dispatch_us - r.arrival_us;
+            // Deadlines gate dispatch, not completion: a request dispatched
+            // in time can still finish past its deadline. That is an SLO
+            // miss even though the request was served.
+            let late = self.now_us > r.deadline_us;
+            rt.latencies.push(latency_us);
+            rt.queue_waits.push(wait_us);
+            if late {
+                rt.late_served += 1;
+            }
+            if let Some(slo) = &slo {
+                let name = spec.network.name();
+                rana_metrics::observe_f64(
+                    || rana_metrics::MetricKey::new("serve.latency_us").label("tenant", name),
+                    latency_us,
+                );
+                rana_metrics::observe_f64(
+                    || rana_metrics::MetricKey::new("serve.queue_wait_us").label("tenant", name),
+                    wait_us,
+                );
+                rana_metrics::slo_observe(
+                    name,
+                    slo,
+                    rana_metrics::SloObservation {
+                        latency_us: Some(latency_us),
+                        queue_wait_us: Some(wait_us),
+                        missed_deadline: late,
+                        now_us: self.now_us,
+                    },
+                );
+            }
         }
     }
 
@@ -602,11 +657,15 @@ impl<'a> Server<'a> {
                 flagged_banks_peak: rt.flagged_banks_peak,
                 divider_ratio: rt.divider_ratio,
                 latency: LatencyStats::of(&mut rt.latencies),
+                queue_wait: LatencyStats::of(&mut rt.queue_waits),
+                late_served: rt.late_served,
                 energy: rt.energy,
             })
             .collect();
         let mut all: Vec<f64> =
             self.tenants.iter().flat_map(|t| t.latencies.iter().copied()).collect();
+        let mut all_waits: Vec<f64> =
+            self.tenants.iter().flat_map(|t| t.queue_waits.iter().copied()).collect();
         let served: u64 = tenants.iter().map(|t| t.served).sum();
         ServeReport {
             design: self.config.design.label().to_string(),
@@ -623,10 +682,12 @@ impl<'a> Server<'a> {
             retunes: tenants.iter().map(|t| t.retunes).sum(),
             rescheduled_layer_execs: tenants.iter().map(|t| t.rescheduled_layer_execs).sum(),
             rebalances: self.rebalances,
+            late_served: tenants.iter().map(|t| t.late_served).sum(),
             makespan_us: self.now_us,
             idle_us: self.idle_us,
             throttle_us: self.throttle_us,
             latency: LatencyStats::of(&mut all),
+            queue_wait: LatencyStats::of(&mut all_waits),
             energy: self.energy,
             refresh_words: self.refresh_words,
             peak_temp_c: self.peak_temp_c,
@@ -668,11 +729,26 @@ pub struct TenantReport {
     pub divider_ratio: u64,
     /// Latency order statistics.
     pub latency: LatencyStats,
+    /// Queue-wait (arrival → dispatch) order statistics.
+    pub queue_wait: LatencyStats,
+    /// Requests served to completion but past their deadline (deadlines
+    /// gate dispatch, not completion).
+    pub late_served: u64,
     /// Eq. 14 energy attributed to this tenant.
     pub energy: EnergyBreakdown,
 }
 
 impl TenantReport {
+    /// Deadline misses (drops plus late completions) per offered request
+    /// (0 when nothing was offered).
+    pub fn deadline_miss_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            (self.deadline_drops + self.late_served) as f64 / self.offered as f64
+        }
+    }
+
     fn to_json(&self) -> String {
         format!(
             concat!(
@@ -680,6 +756,7 @@ impl TenantReport {
                 "\"offered\":{},\"served\":{},\"batches\":{},\"admission_drops\":{},",
                 "\"deadline_drops\":{},\"retunes\":{},\"rescheduled_layer_execs\":{},",
                 "\"flagged_banks_peak\":{},\"divider_ratio\":{},\"latency\":{},",
+                "\"queue_wait\":{},\"late_served\":{},\"deadline_miss_rate\":{},",
                 "\"energy_j\":{},\"refresh_j\":{}}}"
             ),
             json_string(&self.name),
@@ -696,6 +773,9 @@ impl TenantReport {
             self.flagged_banks_peak,
             self.divider_ratio,
             self.latency.to_json(),
+            self.queue_wait.to_json(),
+            self.late_served,
+            json_f64(self.deadline_miss_rate()),
             json_f64(self.energy.total_j()),
             json_f64(self.energy.refresh_j)
         )
@@ -734,6 +814,8 @@ pub struct ServeReport {
     pub rescheduled_layer_execs: u64,
     /// Dynamic-partition rebalances (0 under static partitioning).
     pub rebalances: u64,
+    /// Requests served to completion but past their deadline.
+    pub late_served: u64,
     /// Time the last batch completed, µs.
     pub makespan_us: f64,
     /// Idle time (queues empty), µs.
@@ -742,6 +824,9 @@ pub struct ServeReport {
     pub throttle_us: f64,
     /// Latency order statistics over all served requests.
     pub latency: LatencyStats,
+    /// Queue-wait (arrival → dispatch) statistics over all served
+    /// requests.
+    pub queue_wait: LatencyStats,
     /// Total Eq. 14 energy.
     pub energy: EnergyBreakdown,
     /// Total refresh operations.
@@ -794,6 +879,15 @@ impl ServeReport {
         }
     }
 
+    /// Deadline misses (drops plus late completions) per offered request.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            (self.deadline_drops + self.late_served) as f64 / self.offered as f64
+        }
+    }
+
     /// Serializes the run to a compact, deterministic JSON object.
     pub fn to_json(&self) -> String {
         let e = self.energy;
@@ -804,8 +898,9 @@ impl ServeReport {
                 "\"rate_rps\":{},\"seed\":{},\"horizon_us\":{},",
                 "\"offered\":{},\"served\":{},\"admission_drops\":{},\"deadline_drops\":{},",
                 "\"batches\":{},\"retunes\":{},\"rescheduled_layer_execs\":{},\"rebalances\":{},",
+                "\"late_served\":{},\"deadline_miss_rate\":{},",
                 "\"makespan_us\":{},\"idle_us\":{},\"throttle_us\":{},",
-                "\"throughput_rps\":{},\"latency\":{},",
+                "\"throughput_rps\":{},\"latency\":{},\"queue_wait\":{},",
                 "\"energy\":{{\"computing_j\":{},\"buffer_j\":{},\"refresh_j\":{},\"offchip_j\":{}}},",
                 "\"energy_per_inference_j\":{},\"refresh_share\":{},\"refresh_words\":{},",
                 "\"peak_temp_c\":{},\"min_interval_us\":{},\"nominal_interval_us\":{},",
@@ -826,11 +921,14 @@ impl ServeReport {
             self.retunes,
             self.rescheduled_layer_execs,
             self.rebalances,
+            self.late_served,
+            json_f64(self.deadline_miss_rate()),
             json_f64(self.makespan_us),
             json_f64(self.idle_us),
             json_f64(self.throttle_us),
             json_f64(self.throughput_rps()),
             self.latency.to_json(),
+            self.queue_wait.to_json(),
             json_f64(e.computing_j),
             json_f64(e.buffer_j),
             json_f64(e.refresh_j),
@@ -913,6 +1011,45 @@ mod tests {
         // Deadlines gate dispatch, not completion: a request can finish up
         // to one max_batch execution past its 8x-slack deadline.
         assert!(r.latency.max_us <= (8.0 + 4.0) * r.tenants[0].isolated_us + 1e-6);
+        assert!(r.deadline_miss_rate() > 0.0);
+        assert!(r.deadline_miss_rate() <= 1.0);
+    }
+
+    #[test]
+    fn queue_wait_is_tracked_and_bounded_by_latency() {
+        let eval = Evaluator::paper_platform();
+        let r = Server::new(&eval, alexnet_mix(), quick_config(5)).run();
+        let t = &r.tenants[0];
+        assert_eq!(t.queue_wait.count, t.latency.count);
+        assert!(t.queue_wait.p50_us >= 0.0);
+        // A request's wait excludes its own batch execution, so every wait
+        // order statistic sits at or below the matching latency one.
+        assert!(t.queue_wait.p99_us <= t.latency.p99_us);
+        assert!(r.queue_wait.max_us <= r.latency.max_us);
+        assert!(r.to_json().contains("\"queue_wait\""));
+        assert!(r.to_json().contains("\"deadline_miss_rate\""));
+    }
+
+    #[test]
+    fn metered_run_tracks_per_tenant_slo() {
+        let eval = Evaluator::paper_platform();
+        let session = rana_metrics::MetricsSession::start();
+        let r = Server::new(&eval, alexnet_mix(), quick_config(5)).run();
+        let reg = session.finish();
+        let slo = reg.slo("AlexNet").expect("tenant SLO tracked");
+        assert_eq!(
+            slo.requests(),
+            r.served + r.deadline_drops,
+            "every completion and deadline drop is one SLO observation"
+        );
+        assert_eq!(slo.misses(), r.deadline_drops + r.late_served);
+        let lat = reg
+            .hist_f64(rana_metrics::MetricKey::new("serve.latency_us").label("tenant", "AlexNet"))
+            .expect("latency histogram populated");
+        assert_eq!(lat.count(), r.served);
+        // Log-linear buckets bound the histogram p99's relative error.
+        let p99 = lat.quantile(0.99).unwrap();
+        assert!((p99 - r.latency.p99_us).abs() / r.latency.p99_us < 0.01, "{p99}");
     }
 
     #[test]

@@ -191,7 +191,7 @@ impl Session {
     /// event counts), without ending the session.
     pub fn snapshot(&self) -> TelemetryReport {
         let inner = self.state.inner.lock().unwrap();
-        inner.registry.clone().into_report(inner.seq)
+        inner.registry.clone().into_report(inner.seq, inner.sink.dropped())
     }
 
     /// Ends the session, flushes the sink, and returns the aggregated
@@ -205,7 +205,8 @@ impl Session {
         let mut inner = self.state.inner.lock().unwrap();
         inner.sink.flush();
         let seq = inner.seq;
-        std::mem::take(&mut inner.registry).into_report(seq)
+        let dropped = inner.sink.dropped();
+        std::mem::take(&mut inner.registry).into_report(seq, dropped)
     }
 }
 
@@ -269,6 +270,19 @@ mod tests {
         let report = session.finish();
         assert_eq!(report.ledger_layers, 1);
         assert_eq!(report.ledger.computing_j, 1.0);
+    }
+
+    #[test]
+    fn ring_overflow_surfaces_in_report() {
+        let session = Session::start(TraceConfig::Ring { capacity: 2 });
+        for k in 0..5 {
+            emit(|| Event::CacheLookup { cache: "c".into(), fingerprint: k, hit: false });
+        }
+        assert_eq!(session.snapshot().events_dropped, 3);
+        let report = session.finish();
+        assert_eq!(report.events_emitted, 5);
+        assert_eq!(report.events_dropped, 3);
+        assert!(report.to_json(true).contains("\"events_dropped\": 3"));
     }
 
     #[test]

@@ -78,10 +78,12 @@ impl Registry {
     }
 
     /// Freezes this registry into a report. `events_emitted` is the
-    /// session's final sequence counter.
-    pub fn into_report(self, events_emitted: u64) -> TelemetryReport {
+    /// session's final sequence counter; `events_dropped` is what the
+    /// sink reported losing (ring eviction, failed writes).
+    pub fn into_report(self, events_emitted: u64, events_dropped: u64) -> TelemetryReport {
         TelemetryReport {
             events_emitted,
+            events_dropped,
             event_counts: self.event_counts.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
             counters: self.counters,
             spans: self.spans,
@@ -97,6 +99,9 @@ impl Registry {
 pub struct TelemetryReport {
     /// Total events emitted (final sequence counter).
     pub events_emitted: u64,
+    /// Events the sink failed to retain (ring eviction, failed writes);
+    /// nonzero means the event stream is truncated.
+    pub events_dropped: u64,
     /// Events per kind label.
     pub event_counts: BTreeMap<String, u64>,
     /// Hierarchical dotted-path counters.
@@ -139,6 +144,7 @@ impl TelemetryReport {
         let mut s = String::with_capacity(1024);
         s.push_str("{\n");
         s.push_str(&format!("  \"events_emitted\": {},\n", self.events_emitted));
+        s.push_str(&format!("  \"events_dropped\": {},\n", self.events_dropped));
 
         s.push_str("  \"event_counts\": {");
         let mut first = true;
@@ -216,7 +222,7 @@ mod tests {
         r.add("cache.schedule.hit", 3);
         r.add("cache.schedule.hit", 2);
         r.add("cache.schedule.miss", 5);
-        let rep = r.into_report(0);
+        let rep = r.into_report(0, 0);
         assert_eq!(rep.counter("cache.schedule.hit"), 5);
         assert_eq!(rep.hit_rate("cache.schedule"), Some(0.5));
         assert_eq!(rep.hit_rate("cache.absent"), None);
@@ -227,7 +233,7 @@ mod tests {
         let mut r = Registry::new();
         r.record_span("par.map", 1.0);
         r.record_span("par.map", 3.0);
-        let rep = r.into_report(0);
+        let rep = r.into_report(0, 0);
         let s = rep.spans["par.map"];
         assert_eq!(s.count, 2);
         assert_eq!(s.total_s, 4.0);
@@ -245,7 +251,7 @@ mod tests {
             refresh_j: 0.25,
             offchip_j: 0.25,
         });
-        let rep = r.into_report(7);
+        let rep = r.into_report(7, 0);
         let det = rep.to_json(true);
         assert!(det.contains("\"par.map\": {\"count\": 1}"));
         assert!(!det.contains("total_s"));
@@ -259,7 +265,7 @@ mod tests {
         let mut r = Registry::new();
         r.add("b.two", 2);
         r.add("a.one", 1);
-        let rep = r.into_report(0);
+        let rep = r.into_report(0, 0);
         assert_eq!(rep.counters_csv_rows(), vec!["a.one,1".to_string(), "b.two,2".to_string()]);
     }
 }

@@ -21,6 +21,12 @@ pub trait Sink: Send {
     fn record(&mut self, seq: u64, event: &Event);
     /// Flush any buffered output. Called when the session finishes.
     fn flush(&mut self) {}
+    /// Events this sink received but could not retain (ring eviction,
+    /// failed writes). Surfaced as `TelemetryReport::events_dropped` so a
+    /// truncated trace is never mistaken for a complete one.
+    fn dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// Discards every event; counters and the ledger still aggregate.
@@ -83,6 +89,10 @@ impl Sink for RingSink {
         }
         self.events.push_back((seq, event.clone()));
     }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
 }
 
 /// Streams events as one JSON object per line to a file.
@@ -95,6 +105,7 @@ pub struct JsonlSink {
     path: PathBuf,
     writer: BufWriter<File>,
     lines: u64,
+    attempts: u64,
 }
 
 impl JsonlSink {
@@ -102,7 +113,7 @@ impl JsonlSink {
     pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let writer = BufWriter::new(File::create(&path)?);
-        Ok(JsonlSink { path, writer, lines: 0 })
+        Ok(JsonlSink { path, writer, lines: 0, attempts: 0 })
     }
 
     /// Path the sink writes to.
@@ -120,6 +131,7 @@ impl Sink for JsonlSink {
     fn record(&mut self, seq: u64, event: &Event) {
         // I/O errors are swallowed rather than panicking inside the
         // traced hot path; the line count lets callers detect short files.
+        self.attempts += 1;
         if writeln!(self.writer, "{}", event.to_json(seq)).is_ok() {
             self.lines += 1;
         }
@@ -127,6 +139,10 @@ impl Sink for JsonlSink {
 
     fn flush(&mut self) {
         let _ = self.writer.flush();
+    }
+
+    fn dropped(&self) -> u64 {
+        self.attempts - self.lines
     }
 }
 
@@ -177,6 +193,10 @@ pub struct SharedRingSink {
 impl Sink for SharedRingSink {
     fn record(&mut self, seq: u64, event: &Event) {
         self.inner.lock().unwrap().record(seq, event);
+    }
+
+    fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped()
     }
 }
 

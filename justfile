@@ -39,3 +39,16 @@ experiments:
 serve-smoke:
     cargo build --release -p rana-bench
     ./target/release/exp_serve --smoke
+
+# Metrics smoke run (bridged sweep + serve pass, writes nothing).
+metrics-smoke:
+    cargo build --release -p rana-bench
+    ./target/release/exp_metrics --smoke
+
+# Bench-regression gate: results/BENCH_*.json vs committed baselines/.
+bench-gate:
+    ./scripts/bench_gate.sh
+
+# Re-snapshot baselines/ from results/ after an intended output change.
+bench-bless:
+    ./scripts/bench_gate.sh --bless

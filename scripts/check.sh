@@ -24,4 +24,10 @@ echo "== scheduler engine benchmark =="
 echo "== serving smoke test =="
 ./target/release/exp_serve --smoke
 
+echo "== metrics smoke test =="
+./target/release/exp_metrics --smoke
+
+echo "== bench-regression gate =="
+./scripts/bench_gate.sh
+
 echo "All checks passed."
