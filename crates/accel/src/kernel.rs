@@ -1,0 +1,130 @@
+//! Inner MAC row kernels of the blocked functional engine.
+//!
+//! Each kernel multiplies a row of 16-bit activations by one 16-bit
+//! weight and accumulates the *rounded, shifted* products into 32-bit
+//! lanes: `acc[j] += (x[j·step] · w + half) >> shift`. The shift and
+//! rounding happen per product, exactly as the scalar engine does, so
+//! the blocked engine stays bit-identical while the compiler gets a
+//! branch-free, contiguous loop it can autovectorize.
+//!
+//! With the `simd` cargo feature on x86_64, the unit-stride kernel is
+//! written with explicit SSE2 intrinsics (baseline on every x86_64
+//! target, no runtime detection needed): exact 32-bit products via
+//! `mullo`/`mulhi` widening, vector add of the rounding constant, and
+//! an arithmetic right shift — the same arithmetic, eight lanes at a
+//! time.
+
+/// Unit-stride row MAC: `acc[j] += (xs[j] · w + half) >> shift`.
+///
+/// `shift` must be in `0..=30` and `half` must be the matching rounding
+/// constant (`1 << (shift - 1)`, or `0` when `shift == 0`); the caller
+/// guarantees the accumulators cannot overflow (bounded term count).
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+#[inline]
+pub(crate) fn mac_row_s1(acc: &mut [i32], xs: &[i16], w: i16, shift: u32, half: i32) {
+    debug_assert_eq!(acc.len(), xs.len());
+    let w = i32::from(w);
+    for (a, &x) in acc.iter_mut().zip(xs) {
+        *a += (i32::from(x) * w + half) >> shift;
+    }
+}
+
+/// Unit-stride row MAC, explicit SSE2 eight-lane version.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+pub(crate) fn mac_row_s1(acc: &mut [i32], xs: &[i16], w: i16, shift: u32, half: i32) {
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+    debug_assert_eq!(acc.len(), xs.len());
+    let n = acc.len();
+    let chunks = n / 8;
+    // SAFETY: SSE2 is baseline on x86_64; all loads/stores are unaligned
+    // intrinsics over in-bounds `[i16]`/`[i32]` ranges checked above.
+    unsafe {
+        let wv = _mm_set1_epi16(w);
+        let hv = _mm_set1_epi32(half);
+        let sv = _mm_cvtsi32_si128(shift as i32);
+        for i in 0..chunks {
+            let x = _mm_loadu_si128(xs.as_ptr().add(i * 8).cast());
+            // Exact 32-bit products of eight i16 lanes: low and high
+            // halves recombined by unpacking.
+            let lo = _mm_mullo_epi16(x, wv);
+            let hi = _mm_mulhi_epi16(x, wv);
+            let p0 = _mm_unpacklo_epi16(lo, hi);
+            let p1 = _mm_unpackhi_epi16(lo, hi);
+            let t0 = _mm_sra_epi32(_mm_add_epi32(p0, hv), sv);
+            let t1 = _mm_sra_epi32(_mm_add_epi32(p1, hv), sv);
+            let a0 = _mm_loadu_si128(acc.as_ptr().add(i * 8).cast());
+            let a1 = _mm_loadu_si128(acc.as_ptr().add(i * 8 + 4).cast());
+            _mm_storeu_si128(acc.as_mut_ptr().add(i * 8).cast(), _mm_add_epi32(a0, t0));
+            _mm_storeu_si128(acc.as_mut_ptr().add(i * 8 + 4).cast(), _mm_add_epi32(a1, t1));
+        }
+    }
+    let w = i32::from(w);
+    for j in chunks * 8..n {
+        acc[j] += (i32::from(xs[j]) * w + half) >> shift;
+    }
+}
+
+/// Strided row MAC: `acc[j] += (xs[j · step] · w + half) >> shift`.
+///
+/// Used when the layer stride exceeds 1, so consecutive output columns
+/// sample non-adjacent input columns. Same contract as [`mac_row_s1`].
+#[inline]
+pub(crate) fn mac_row_strided(
+    acc: &mut [i32],
+    xs: &[i16],
+    step: usize,
+    w: i16,
+    shift: u32,
+    half: i32,
+) {
+    debug_assert!(acc.is_empty() || (acc.len() - 1) * step < xs.len());
+    let w = i32::from(w);
+    for (j, a) in acc.iter_mut().enumerate() {
+        *a += (i32::from(xs[j * step]) * w + half) >> shift;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(acc: &mut [i32], xs: &[i16], step: usize, w: i16, shift: u32, half: i32) {
+        for (j, a) in acc.iter_mut().enumerate() {
+            *a += (i32::from(xs[j * step]) * i32::from(w) + half) >> shift;
+        }
+    }
+
+    #[test]
+    fn unit_stride_matches_reference_across_lane_counts() {
+        // Lane counts straddling the 8-wide SIMD chunking, extreme
+        // operands included.
+        let xs: Vec<i16> = (0..37)
+            .map(|i| [i16::MIN, -3, 0, 1, 7, i16::MAX][i % 6].wrapping_add(i as i16))
+            .collect();
+        for n in [0usize, 1, 7, 8, 9, 16, 23, 37] {
+            for (w, shift) in [(i16::MAX, 12u32), (i16::MIN, 12), (-77, 1), (13, 0), (255, 30)] {
+                let half = if shift > 0 { 1i32 << (shift - 1) } else { 0 };
+                let mut got = vec![5i32; n];
+                let mut want = got.clone();
+                mac_row_s1(&mut got, &xs[..n], w, shift, half);
+                reference(&mut want, &xs[..n], 1, w, shift, half);
+                assert_eq!(got, want, "n={n} w={w} shift={shift}");
+            }
+        }
+    }
+
+    #[test]
+    fn strided_matches_reference() {
+        let xs: Vec<i16> = (0..64).map(|i| (i * 1021 % 4093) as i16 - 2046).collect();
+        for step in [2usize, 3, 4] {
+            let n = (xs.len() - 1) / step + 1;
+            let mut got = vec![-9i32; n];
+            let mut want = got.clone();
+            mac_row_strided(&mut got, &xs, step, -1234, 12, 1 << 11);
+            reference(&mut want, &xs, step, -1234, 12, 1 << 11);
+            assert_eq!(got, want, "step={step}");
+        }
+    }
+}

@@ -36,11 +36,14 @@
 //! assert!((sim.lifetimes.output_rewrite_us - 71.68).abs() < 0.1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod config;
 pub mod dram;
 pub mod exec;
 pub mod fingerprint;
+mod kernel;
 pub mod layer;
 pub mod pattern;
 pub mod refresh;
@@ -48,7 +51,8 @@ pub mod trace;
 
 pub use analysis::{analyze, storage_and_traffic, LayerSim, Lifetimes, Storage, Traffic};
 pub use config::{AcceleratorConfig, BufferConfig};
+pub use exec::{execute_layer, execute_layer_grouped, Engine};
 pub use fingerprint::{Fingerprint, Fnv1a};
 pub use layer::SchedLayer;
-pub use pattern::{Pattern, Tiling};
+pub use pattern::{Pattern, TileAxis, Tiling};
 pub use refresh::{layer_refresh_words, ControllerKind, RefreshModel};

@@ -167,6 +167,65 @@ impl fmt::Display for Tiling {
     }
 }
 
+/// One tiled dimension, decomposed arithmetically: tile `i` covers
+/// `[i·t, i·t + len(i))` where every tile is `t` wide except a possibly
+/// shorter last one. Replaces the per-call `Vec<(start, len)>` lists the
+/// tile walks used to allocate — a `TileAxis` is two words and `get` is
+/// two arithmetic ops.
+///
+/// ```
+/// use rana_accel::TileAxis;
+///
+/// let axis = TileAxis::new(10, 4); // dim 10 in tiles of 4: 4 + 4 + 2
+/// assert_eq!(axis.len(), 3);
+/// assert_eq!(axis.get(0), (0, 4));
+/// assert_eq!(axis.get(2), (8, 2));
+/// assert_eq!(axis.iter().map(|(_, l)| l).sum::<usize>(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileAxis {
+    dim: usize,
+    t: usize,
+}
+
+impl TileAxis {
+    /// Decomposes a dimension of size `dim` into tiles of width `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is zero.
+    pub fn new(dim: usize, t: usize) -> Self {
+        assert!(t > 0, "tile width must be positive");
+        Self { dim, t }
+    }
+
+    /// Number of tiles (`ceil(dim / t)`; zero for an empty dimension).
+    pub fn len(&self) -> usize {
+        self.dim.div_ceil(self.t)
+    }
+
+    /// Whether the dimension is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dim == 0
+    }
+
+    /// `(start, len)` of tile `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> (usize, usize) {
+        assert!(i < self.len(), "tile index {i} out of range (len {})", self.len());
+        let start = i * self.t;
+        (start, self.t.min(self.dim - start))
+    }
+
+    /// Iterates the `(start, len)` tile bounds in order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +283,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn tile_axis_covers_dimension_exactly() {
+        for dim in 0..40usize {
+            for t in 1..10usize {
+                let axis = TileAxis::new(dim, t);
+                assert_eq!(axis.len(), dim.div_ceil(t));
+                let mut next = 0usize;
+                for (start, len) in axis.iter() {
+                    assert_eq!(start, next, "tiles contiguous for dim={dim} t={t}");
+                    assert!(len >= 1 && len <= t);
+                    next = start + len;
+                }
+                assert_eq!(next, dim, "tiles cover dim={dim} t={t}");
+                assert_eq!(axis.is_empty(), dim == 0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tile_axis_get_out_of_range_panics() {
+        TileAxis::new(10, 4).get(3);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use crate::analysis::{Lifetimes, Traffic};
 use crate::config::AcceleratorConfig;
 use crate::layer::SchedLayer;
-use crate::pattern::{LoopDim, Pattern, Tiling};
+use crate::pattern::{LoopDim, Pattern, TileAxis, Tiling};
 use std::collections::HashMap;
 
 /// Result of a traced execution.
@@ -28,41 +28,6 @@ pub struct TraceResult {
     /// Lifetimes measured from the trace: maximum residency per data type
     /// and maximum rewrite gap for outputs.
     pub measured: Lifetimes,
-}
-
-/// One tile coordinate along a loop axis.
-#[derive(Debug, Clone, Copy)]
-struct TileStep {
-    /// Tile index along `M`/`N`, or flattened `(r, c)` index for `RC`.
-    idx: usize,
-    /// Effective `tm`/`tn` (or `(tr_e, tc_e)` packed) for edge tiles.
-    size: usize,
-    size2: usize,
-}
-
-fn axis(dim: usize, t: usize) -> Vec<TileStep> {
-    let mut v = Vec::new();
-    let mut start = 0;
-    let mut idx = 0;
-    while start < dim {
-        let size = t.min(dim - start);
-        v.push(TileStep { idx, size, size2: 0 });
-        start += size;
-        idx += 1;
-    }
-    v
-}
-
-fn rc_axis(r: usize, tr: usize, c: usize, tc: usize) -> Vec<TileStep> {
-    let mut v = Vec::new();
-    let mut idx = 0;
-    for ri in axis(r, tr) {
-        for ci in axis(c, tc) {
-            v.push(TileStep { idx, size: ri.size, size2: ci.size });
-            idx += 1;
-        }
-    }
-    v
 }
 
 /// Tracks residencies of one data type: keyed intervals from first load to
@@ -116,9 +81,12 @@ pub fn trace(
     let k2 = (layer.k * layer.k) as u64;
     let (tm_trips, tn_trips, _, _) = t.trips(layer);
 
-    let m_axis = axis(layer.m, t.tm);
-    let n_axis = axis(layer.n, t.tn);
-    let rc = rc_axis(layer.r, t.tr, layer.c, t.tc);
+    // Tile axes, decomposed arithmetically (no per-call allocation); the
+    // RC axis flattens rows × columns with the column tile innermost.
+    let m_axis = TileAxis::new(layer.m, t.tm);
+    let n_axis = TileAxis::new(layer.n, t.tn);
+    let r_axis = TileAxis::new(layer.r, t.tr);
+    let c_axis = TileAxis::new(layer.c, t.tc);
 
     // Buffer-capacity check drives the overflow traffic, mirroring analysis.
     let capacity = cfg.buffer.capacity_words();
@@ -174,30 +142,29 @@ pub fn trace(
 
     // Iterate the three loop levels in the pattern's order.
     let order = pattern.loop_order();
-    let level_axis = |d: LoopDim| -> &[TileStep] {
-        match d {
-            LoopDim::M => &m_axis,
-            LoopDim::N => &n_axis,
-            LoopDim::Rc => &rc,
-        }
+    let axis_len = |d: LoopDim| match d {
+        LoopDim::M => m_axis.len(),
+        LoopDim::N => n_axis.len(),
+        LoopDim::Rc => r_axis.len() * c_axis.len(),
     };
-    for s3 in level_axis(order[0]) {
-        for s2 in level_axis(order[1]) {
-            for s1 in level_axis(order[2]) {
-                // Decode the tile coordinates from the three steps.
-                let mut m_step = s1;
-                let mut n_step = s1;
-                let mut rc_step = s1;
-                for (dim, step) in order.iter().zip([s3, s2, s1]) {
+    for i3 in 0..axis_len(order[0]) {
+        for i2 in 0..axis_len(order[1]) {
+            for i1 in 0..axis_len(order[2]) {
+                // Decode the tile coordinates from the three loop indices.
+                let mut mi = 0;
+                let mut ni = 0;
+                let mut rci = 0;
+                for (dim, idx) in order.iter().zip([i3, i2, i1]) {
                     match dim {
-                        LoopDim::M => m_step = step,
-                        LoopDim::N => n_step = step,
-                        LoopDim::Rc => rc_step = step,
+                        LoopDim::M => mi = idx,
+                        LoopDim::N => ni = idx,
+                        LoopDim::Rc => rci = idx,
                     }
                 }
-                let (mi, tm_e) = (m_step.idx, m_step.size);
-                let (ni, tn_e) = (n_step.idx, n_step.size);
-                let (rci, tr_e, tc_e) = (rc_step.idx, rc_step.size, rc_step.size2);
+                let (_, tm_e) = m_axis.get(mi);
+                let (_, tn_e) = n_axis.get(ni);
+                let (_, tr_e) = r_axis.get(rci / c_axis.len());
+                let (_, tc_e) = c_axis.get(rci % c_axis.len());
                 let th_e = layer.tile_in_h(tr_e) as u64;
                 let tl_e = layer.tile_in_w(tc_e) as u64;
 

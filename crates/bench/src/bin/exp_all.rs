@@ -23,6 +23,7 @@ fn main() {
         ("exp_ablation", &[]),
         ("exp_sensitivity", &[]),
         ("exp_bench_sched", &[]),
+        ("exp_bench_exec", &[]),
         ("exp_thermal", &[]),
         ("exp_serve", &[]),
         ("exp_trace", &[]),

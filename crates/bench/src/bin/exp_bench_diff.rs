@@ -3,7 +3,7 @@
 //!
 //! Most BENCH artifacts are byte-deterministic by contract, so they are
 //! compared byte-for-byte (with a structural diff to name the offending
-//! fields when bytes diverge). Two artifacts intentionally carry
+//! fields when bytes diverge). A few artifacts intentionally carry
 //! wall-clock measurements and are *timing-quarantined*: their structure
 //! — keys, array lengths, types, booleans, strings — stays strict, but
 //! numeric leaves only have to land within a relative noise band of the
@@ -18,7 +18,8 @@ use rana_bench::json::{diff, Json, NumericPolicy};
 use std::path::{Path, PathBuf};
 
 /// Artifacts whose numeric leaves are wall-clock noise, not contract.
-const QUARANTINED: &[&str] = &["BENCH_sched.json", "BENCH_trace_timing.json"];
+const QUARANTINED: &[&str] =
+    &["BENCH_sched.json", "BENCH_trace_timing.json", "BENCH_exec_timing.json"];
 
 /// Default multiplicative drift allowed on quarantined numerics.
 const DEFAULT_TIMING_FACTOR: f64 = 100.0;

@@ -41,6 +41,7 @@ pub mod config_gen;
 pub mod designs;
 pub mod energy;
 pub mod evaluate;
+pub mod exec_batch;
 pub mod par;
 pub mod report;
 pub mod runtime;
@@ -53,5 +54,6 @@ pub use adaptive::{
 pub use designs::Design;
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use evaluate::{Evaluator, NetworkEnergy};
+pub use exec_batch::{execute_layer_batch, BatchSummary};
 pub use par::{par_map, par_map_with, thread_count, ScheduleCache};
 pub use scheduler::{LayerSchedule, NetworkSchedule, Scheduler};

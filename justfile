@@ -45,6 +45,22 @@ metrics-smoke:
     cargo build --release -p rana-bench
     ./target/release/exp_metrics --smoke
 
+# Functional-engine smoke run (scalar-vs-blocked identity, writes nothing).
+exec-smoke:
+    cargo build --release -p rana-bench
+    ./target/release/exp_bench_exec --smoke
+
+# Functional-engine throughput benchmark (writes results/BENCH_exec*.json).
+bench-exec:
+    cargo build --release -p rana-bench
+    ./target/release/exp_bench_exec
+
+# SIMD feature leg: explicit-SSE2 tile kernels, same tests as the gate.
+test-simd:
+    cargo clippy -p rana-accel --features simd --all-targets -- -D warnings
+    cargo test -q -p rana-accel --features simd
+    cargo test -q --features simd --test exec_kernel_equivalence
+
 # Bench-regression gate: results/BENCH_*.json vs committed baselines/.
 bench-gate:
     ./scripts/bench_gate.sh

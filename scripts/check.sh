@@ -15,6 +15,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1 tests =="
 cargo test -q
 
+echo "== simd feature leg (build + engine tests) =="
+cargo clippy -p rana-accel --features simd --all-targets -- -D warnings
+cargo test -q -p rana-accel --features simd
+cargo test -q --features simd --test exec_kernel_equivalence
+
 echo "== rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
@@ -26,6 +31,9 @@ echo "== serving smoke test =="
 
 echo "== metrics smoke test =="
 ./target/release/exp_metrics --smoke
+
+echo "== functional-engine smoke test =="
+./target/release/exp_bench_exec --smoke
 
 echo "== bench-regression gate =="
 ./scripts/bench_gate.sh

@@ -1,0 +1,133 @@
+//! Property-based equivalence of the two functional tile engines: for any
+//! layer shape (including asymmetric padding margins, strides and grouped
+//! wrappers), pattern, tiling and number format, the blocked/vectorized
+//! engine must reproduce the scalar reference engine's *entire*
+//! [`FunctionalResult`] — outputs, cycles, reads, faults and refresh
+//! words — on both the ideal buffer and a decaying eDRAM buffer with and
+//! without refresh.
+
+use proptest::prelude::*;
+use rana_repro::accel::exec::{
+    execute_layer_grouped_with, execute_layer_with, BufferModel, Engine, Formats,
+};
+use rana_repro::accel::{AcceleratorConfig, Pattern, SchedLayer, Tiling};
+use rana_repro::edram::{RefreshConfig, RetentionDistribution};
+
+/// Layer shapes with independent padding (not tied to `k/2`), strides and
+/// kernel sizes; `r`/`c` follow the convolution arithmetic.
+fn arb_layer() -> impl Strategy<Value = SchedLayer> {
+    // `hw >= 4 >= k` keeps the kernel inside the padded input for every
+    // combination, so no filtering is needed.
+    (1usize..=4, 4usize..=9, 1usize..=5, 1usize..=4, 1usize..=3, 0usize..=2).prop_map(
+        |(n, hw, m, k, s, pad)| SchedLayer {
+            name: "kernel-eq".into(),
+            n,
+            h: hw,
+            l: hw,
+            m,
+            k,
+            s,
+            r: (hw + 2 * pad - k) / s + 1,
+            c: (hw + 2 * pad - k) / s + 1,
+            pad,
+            groups: 1,
+        },
+    )
+}
+
+/// Number formats spanning the i32 fast path, the `shift == 0` and the
+/// negative-shift i64 fallbacks (`prod_shift` ∈ −4 ..= 16).
+fn arb_formats() -> impl Strategy<Value = Formats> {
+    (0u8..=8, 0u8..=8, 0u8..=4).prop_map(|(input_frac, weight_frac, output_frac)| Formats {
+        input_frac,
+        weight_frac,
+        output_frac,
+    })
+}
+
+/// A sharp-knee retention curve (fault-free below 100 µs, fully decayed
+/// past 1 ms) so decay effects are deterministic and actually exercised.
+fn sharp_dist() -> RetentionDistribution {
+    RetentionDistribution::from_anchors(vec![(100.0, 1e-7), (150.0, 1e-2), (1000.0, 1.0)]).unwrap()
+}
+
+fn operands(layer: &SchedLayer, seed: u64) -> (Vec<i16>, Vec<i16>) {
+    let words = layer.groups * layer.n * layer.h * layer.l;
+    let w_words = layer.groups * layer.m * layer.n * layer.k * layer.k;
+    let inputs =
+        (0..words).map(|i| (((i as u64).wrapping_mul(seed | 1) >> 5) % 61) as i16 - 30).collect();
+    let weights = (0..w_words)
+        .map(|i| (((i as u64).wrapping_mul((seed >> 3) | 1) >> 7) % 41) as i16 - 20)
+        .collect();
+    (inputs, weights)
+}
+
+/// Buffer models the engines must agree on: ideal, decaying-unrefreshed,
+/// and decaying under the conventional 45 µs pulse.
+fn models(seed: u64) -> [BufferModel; 3] {
+    [
+        BufferModel::Ideal,
+        BufferModel::Edram { dist: sharp_dist(), seed, refresh: None },
+        BufferModel::Edram {
+            dist: sharp_dist(),
+            seed,
+            refresh: Some(RefreshConfig::conventional(45.0)),
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Blocked ≡ scalar on the full result, across patterns, tilings,
+    /// paddings, strides, formats and buffer models.
+    #[test]
+    fn blocked_engine_matches_scalar_everywhere(
+        layer in arb_layer(),
+        formats in arb_formats(),
+        tm in 1usize..=6,
+        tn in 1usize..=5,
+        tr in 1usize..=4,
+        tc in 1usize..=5,
+        pattern_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let pattern = Pattern::ALL[pattern_idx];
+        let tiling = Tiling::new(tm, tn, tr, tc);
+        let cfg = AcceleratorConfig::paper_edram();
+        let (inputs, weights) = operands(&layer, seed);
+        for model in models(seed) {
+            let scalar = execute_layer_with(
+                Engine::Scalar, &layer, pattern, tiling, &cfg, &inputs, &weights, formats, &model);
+            let blocked = execute_layer_with(
+                Engine::Blocked, &layer, pattern, tiling, &cfg, &inputs, &weights, formats, &model);
+            prop_assert_eq!(
+                &blocked, &scalar,
+                "{} {} pad {} s {} formats {:?}", pattern, tiling, layer.pad, layer.s, formats);
+        }
+    }
+
+    /// The grouped wrapper preserves the equivalence (per-group slicing,
+    /// output concatenation and stat summation are engine-agnostic).
+    #[test]
+    fn grouped_wrapper_preserves_equivalence(
+        base in arb_layer(),
+        groups in 1usize..=3,
+        pattern_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let layer = SchedLayer { groups, ..base.clone() };
+        let pattern = Pattern::ALL[pattern_idx];
+        let tiling = Tiling::new(3, 2, 2, 3);
+        let cfg = AcceleratorConfig::paper_edram();
+        let (inputs, weights) = operands(&layer, seed);
+        let f = Formats::default();
+        for model in models(seed) {
+            let scalar = execute_layer_grouped_with(
+                Engine::Scalar, &layer, pattern, tiling, &cfg, &inputs, &weights, f, &model);
+            let blocked = execute_layer_grouped_with(
+                Engine::Blocked, &layer, pattern, tiling, &cfg, &inputs, &weights, f, &model);
+            prop_assert_eq!(&blocked, &scalar, "{} groups {}", pattern, groups);
+        }
+    }
+}
