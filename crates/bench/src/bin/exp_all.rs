@@ -28,6 +28,7 @@ fn main() {
         ("exp_serve", &[]),
         ("exp_trace", &[]),
         ("exp_metrics", &[]),
+        ("exp_fleet", &[]),
     ];
     for (name, args) in experiments {
         let status = Command::new(dir.join(name))

@@ -18,8 +18,12 @@ use rana_bench::json::{diff, Json, NumericPolicy};
 use std::path::{Path, PathBuf};
 
 /// Artifacts whose numeric leaves are wall-clock noise, not contract.
-const QUARANTINED: &[&str] =
-    &["BENCH_sched.json", "BENCH_trace_timing.json", "BENCH_exec_timing.json"];
+const QUARANTINED: &[&str] = &[
+    "BENCH_sched.json",
+    "BENCH_trace_timing.json",
+    "BENCH_exec_timing.json",
+    "BENCH_fleet_timing.json",
+];
 
 /// Default multiplicative drift allowed on quarantined numerics.
 const DEFAULT_TIMING_FACTOR: f64 = 100.0;

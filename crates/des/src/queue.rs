@@ -1,0 +1,245 @@
+//! The deterministic event queue and its monotonic clock.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle to a scheduled event, usable with [`EventQueue::cancel`].
+///
+/// Ids are assigned in schedule order and never reused within one queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+/// One heap entry. Ordering is the whole determinism contract: earliest
+/// `time` first, then lowest `class`, then lowest `seq` (schedule order).
+struct Entry<E> {
+    time: f64,
+    class: u8,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> Entry<E> {
+    /// The sort key. `time` is finite by the [`EventQueue::schedule`]
+    /// contract, so `total_cmp` agrees with the usual `<` on it.
+    fn key(&self) -> (f64, u8, u64) {
+        (self.time, self.class, self.seq)
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event
+        // on top.
+        let (ta, ca, sa) = self.key();
+        let (tb, cb, sb) = other.key();
+        tb.total_cmp(&ta).then_with(|| cb.cmp(&ca)).then_with(|| sb.cmp(&sa))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A binary-heap event queue with a built-in monotonic clock.
+///
+/// Events are typed (`E` is the simulator's event enum) and delivered in
+/// `(time, class, seq)` order: earliest timestamp first, ties broken by
+/// the event's priority class (lower fires first), then by schedule order.
+/// Nothing in the delivery order depends on hash-map iteration or
+/// addresses, so a fixed schedule replays identically.
+///
+/// The clock ([`EventQueue::now`]) advances only when an event is popped
+/// and never moves backwards; scheduling into the past panics.
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Ids scheduled and not yet delivered or cancelled.
+    pending: HashSet<u64>,
+    /// Ids cancelled but still buried in the heap (lazy deletion).
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: f64,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at `0.0`.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (`0.0` before the first pop).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Live (scheduled, not yet delivered or cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Schedules `payload` at absolute time `time` in priority class
+    /// `class` (lower classes fire first at equal timestamps) and returns
+    /// a handle for [`EventQueue::cancel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not finite or lies before [`EventQueue::now`].
+    pub fn schedule(&mut self, time: f64, class: u8, payload: E) -> EventId {
+        assert!(time.is_finite(), "event time must be finite, got {time}");
+        assert!(time >= self.now, "cannot schedule into the past ({time} < {})", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(seq);
+        self.heap.push(Entry { time, class, seq, payload });
+        EventId(seq)
+    }
+
+    /// Schedules `payload` at `delay` past the current clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or not finite.
+    pub fn schedule_in(&mut self, delay: f64, class: u8, payload: E) -> EventId {
+        assert!(delay >= 0.0, "delay must be non-negative, got {delay}");
+        self.schedule(self.now + delay, class, payload)
+    }
+
+    /// Cancels a scheduled event. Returns `true` if the event was still
+    /// pending (it will never be delivered), `false` if it was already
+    /// delivered or cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.pending.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Delivers the next event, advancing the clock to its timestamp.
+    /// Returns `None` when no live events remain.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        loop {
+            let entry = self.heap.pop()?;
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.pending.remove(&entry.seq);
+            debug_assert!(entry.time >= self.now, "heap delivered an event out of order");
+            self.now = entry.time;
+            return Some((entry.time, entry.payload));
+        }
+    }
+
+    /// Timestamp of the next live event without delivering it (cancelled
+    /// entries at the top are discarded on the way).
+    pub fn peek_time(&mut self) -> Option<f64> {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                return Some(top.time);
+            }
+        }
+        None
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.pending.len())
+            .field("scheduled_total", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_then_class_then_schedule_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, 1, "c");
+        q.schedule(5.0, 0, "b");
+        q.schedule(1.0, 7, "a");
+        q.schedule(5.0, 1, "d");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn clock_tracks_pops_and_rejects_past_schedules() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 0, ());
+        q.schedule(3.0, 0, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 3.0);
+        // Same-instant scheduling is allowed; the past is not.
+        q.schedule(3.0, 0, ());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.schedule(2.9, 0, ());
+        }));
+        assert!(result.is_err(), "scheduling into the past must panic");
+    }
+
+    #[test]
+    fn cancellation_is_lazy_but_final() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1.0, 0, "a");
+        let b = q.schedule(2.0, 0, "b");
+        q.schedule(3.0, 0, "c");
+        assert_eq!(q.len(), 3);
+        assert!(q.cancel(b));
+        assert!(!q.cancel(b), "double cancel reports false");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert!(!q.cancel(a), "cancelling a delivered event reports false");
+        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_skips_cancelled_heads() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1.0, 0, "a");
+        q.schedule(2.0, 0, "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(2.0));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+    }
+
+    #[test]
+    fn negative_zero_and_zero_coexist() {
+        let mut q = EventQueue::new();
+        q.schedule(0.0, 0, "pos");
+        q.schedule(-0.0, 0, "neg");
+        // total_cmp orders -0.0 before 0.0; both are "now".
+        assert_eq!(q.pop(), Some((-0.0, "neg")));
+        assert_eq!(q.pop(), Some((0.0, "pos")));
+    }
+}

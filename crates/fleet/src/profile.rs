@@ -1,0 +1,152 @@
+//! The simulator-level execution-profile memo.
+//!
+//! Every die in the fleet runs the same accelerator design with the whole
+//! unified buffer (fleet scaling is die-level, not bank-level), so one
+//! tenant inference at one refresh-interval rung costs the same on every
+//! die. The [`ProfileCache`] memoizes that cost — time, Eq. 14 energy,
+//! refresh traffic, flagged banks — once per `(tenant, rung)` pair, and
+//! the heavy per-layer search inside flows through the evaluator's shared
+//! [`ScheduleCache`](rana_core::par::ScheduleCache) exactly like the
+//! single-die serving loop.
+//!
+//! Do not confuse this with the *modeled* per-die warm-schedule set
+//! ([`Die::warm`](crate::die::Die::warm)): the profile cache is simulator
+//! memoization (a die never pays for it), while the warm set models the
+//! physical schedule cache a die must fill before it can dispatch a
+//! tenant at full speed — the resource the cache-affinity router farms.
+
+use rana_accel::{layer_refresh_words, ControllerKind, RefreshModel, SchedLayer};
+use rana_core::adaptive::crit_us;
+use rana_core::config_gen::LayerConfig;
+use rana_core::energy::EnergyBreakdown;
+use rana_core::evaluate::Evaluator;
+use rana_core::scheduler::Scheduler;
+use rana_zoo::Network;
+use std::collections::HashMap;
+
+/// One tenant inference's execution profile at one operating interval:
+/// full-buffer, keep-base-iff-refresh-free, hedged online reschedules —
+/// the PR 3 decision rule, identical to the single-die serving loop.
+#[derive(Debug, Clone)]
+pub struct FleetProfile {
+    /// One inference's execution time, µs.
+    pub time_us: f64,
+    /// One inference's Eq. 14 energy at the operating interval.
+    pub energy: EnergyBreakdown,
+    /// Words refreshed over one inference.
+    pub refresh_words: u64,
+    /// Weight words loaded from DRAM (paid once per batch, not per
+    /// request, when weights stay resident).
+    pub weight_reload_words: u64,
+    /// Layers that abandoned the base schedule for an online reschedule.
+    pub rescheduled_layers: u64,
+    /// Most banks the refresh controller flags in any layer.
+    pub flagged_banks: usize,
+}
+
+/// Memoizes [`FleetProfile`]s by `(tenant index, operating interval)`.
+///
+/// Shared across every die of a [`FleetSim`](crate::FleetSim); the
+/// interval key is the exact bit pattern of the divider-quantized rung,
+/// so two dies sensing the same quantized temperature hit the same entry.
+pub struct ProfileCache<'a> {
+    eval: &'a Evaluator,
+    template: Scheduler,
+    kind: ControllerKind,
+    reschedule_refresh_weight: f64,
+    cache: HashMap<(usize, u64), FleetProfile>,
+}
+
+impl<'a> ProfileCache<'a> {
+    /// A cache over `eval`'s platform for the scheduler `template`
+    /// (obtained from [`Evaluator::scheduler_for`]).
+    pub fn new(eval: &'a Evaluator, template: Scheduler, reschedule_refresh_weight: f64) -> Self {
+        assert!(reschedule_refresh_weight >= 1.0, "refresh weight must be at least 1");
+        let kind = template.refresh.kind;
+        Self { eval, template, kind, reschedule_refresh_weight, cache: HashMap::new() }
+    }
+
+    /// Distinct `(tenant, rung)` profiles computed so far.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether no profile has been computed yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// The profile of one `tenant` inference at `interval_us` (memoized).
+    pub fn profile(&mut self, tenant: usize, network: &Network, interval_us: f64) -> FleetProfile {
+        let key = (tenant, interval_us.to_bits());
+        if let Some(p) = self.cache.get(&key) {
+            return p.clone();
+        }
+        let base = self.template.schedule_network_with(network, Some(self.eval.cache()), 1);
+        let refresh_now = RefreshModel { interval_us, kind: self.kind };
+        // Online reschedules hedge against further heating by overpricing
+        // refresh (PR 3 semantics); accounting uses the unweighted model.
+        let mut hedged = self.template.clone();
+        hedged.refresh = refresh_now;
+        hedged.model.costs.edram_refresh_pj *= self.reschedule_refresh_weight;
+        let layers: Vec<SchedLayer> = network.conv_layers().map(SchedLayer::from_conv).collect();
+
+        let mut p = FleetProfile {
+            time_us: 0.0,
+            energy: EnergyBreakdown::default(),
+            refresh_words: 0,
+            weight_reload_words: 0,
+            rescheduled_layers: 0,
+            flagged_banks: 0,
+        };
+        for (idx, base_layer) in base.layers.iter().enumerate() {
+            let chosen = if crit_us(base_layer) < interval_us {
+                base_layer.clone()
+            } else {
+                p.rescheduled_layers += 1;
+                hedged.schedule_layer_memo(&layers[idx], self.eval.cache())
+            };
+            let words = layer_refresh_words(&chosen.sim, &self.template.cfg, &refresh_now);
+            let energy = self.template.model.layer_energy(&chosen.sim, words, &self.template.cfg);
+            let flags = LayerConfig::for_sim(&chosen.sim, &self.template.cfg, &refresh_now);
+            p.flagged_banks =
+                p.flagged_banks.max(flags.refresh_flags.iter().filter(|&&f| f).count());
+            p.time_us += chosen.sim.time_us;
+            p.energy += energy;
+            p.refresh_words += words;
+            p.weight_reload_words += chosen.sim.traffic.dram_weight_loads;
+        }
+        self.cache.insert(key, p.clone());
+        p
+    }
+
+    /// Off-chip energy of one weight reload, joules (the per-batch term
+    /// that residency amortizes).
+    pub fn reload_j(&self, p: &FleetProfile) -> f64 {
+        p.weight_reload_words as f64 * self.template.model.costs.ddr_access_pj * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rana_core::designs::Design;
+
+    #[test]
+    fn profiles_are_memoized_and_interval_sensitive() {
+        let eval = Evaluator::paper_platform();
+        let template = eval.scheduler_for(Design::RanaStarE5);
+        let nominal = template.refresh.interval_us;
+        let mut cache = ProfileCache::new(&eval, template, 4.0);
+        let net = rana_zoo::alexnet();
+        let a = cache.profile(0, &net, nominal);
+        let b = cache.profile(0, &net, nominal);
+        assert_eq!(cache.len(), 1, "same (tenant, rung) must hit the memo");
+        assert_eq!(a.time_us, b.time_us);
+        assert!(a.time_us > 0.0 && a.energy.total_j() > 0.0);
+        // A much tighter interval forces reschedules and more refresh.
+        let tight = cache.profile(0, &net, nominal / 16.0);
+        assert_eq!(cache.len(), 2);
+        assert!(tight.refresh_words >= a.refresh_words);
+    }
+}

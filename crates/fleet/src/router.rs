@@ -1,0 +1,60 @@
+//! Fleet-level request routing policies.
+//!
+//! The router picks a die for every arriving (or rerouted) request,
+//! restricted to the tenant's shard and to dies currently accepting work.
+//! All randomness comes from one dedicated router RNG stream split off
+//! the fleet seed ([`rana_des::Streams`]), so routing never perturbs the
+//! arrival processes and vice versa.
+
+/// How the global router spreads requests over a tenant's shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// Uniformly random among accepting dies.
+    Random,
+    /// Cycle through the shard in index order.
+    RoundRobin,
+    /// Sample two random accepting dies, queue on the shorter queue
+    /// (ties to the lower index) — the classic load-balancing result.
+    PowerOfTwoChoices,
+    /// Power-of-two-choices restricted to dies whose schedule cache is
+    /// already warm for the tenant; falls back to plain
+    /// power-of-two-choices when no warm die accepts work or the chosen
+    /// warm die's queue is full.
+    CacheAffinity,
+}
+
+impl RouterPolicy {
+    /// Stable lowercase label (used in JSON and CSV output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouterPolicy::Random => "random",
+            RouterPolicy::RoundRobin => "round-robin",
+            RouterPolicy::PowerOfTwoChoices => "po2c",
+            RouterPolicy::CacheAffinity => "cache-affinity",
+        }
+    }
+
+    /// Every policy, in the order the experiments sweep them.
+    pub fn all() -> [RouterPolicy; 4] {
+        [
+            RouterPolicy::Random,
+            RouterPolicy::RoundRobin,
+            RouterPolicy::PowerOfTwoChoices,
+            RouterPolicy::CacheAffinity,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<&str> = RouterPolicy::all().iter().map(|p| p.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

@@ -71,6 +71,23 @@ pub fn apply_event(reg: &mut Registry, event: &Event) {
             reg.counter_add("exec.refresh_words", *refresh_words);
             reg.counter_add("exec.faults", u64::from(*faults));
         }
+        Event::DieFailed { queued, in_flight, .. } => {
+            reg.counter_add("fleet.die_failures", 1);
+            reg.counter_add("fleet.failed_queued", *queued as u64);
+            reg.counter_add("fleet.failed_in_flight", *in_flight as u64);
+        }
+        Event::DieDrained { queued, .. } => {
+            reg.counter_add("fleet.die_drains", 1);
+            reg.counter_add("fleet.drained_queued", *queued as u64);
+        }
+        Event::RequestRerouted { tenant, reason, .. } => {
+            reg.counter_add(
+                MetricKey::new("fleet.reroutes")
+                    .label("tenant", tenant.as_str())
+                    .label("reason", reason.as_str()),
+                1,
+            );
+        }
     }
 }
 
@@ -211,6 +228,35 @@ mod tests {
         assert_eq!(reg.counter(MetricKey::new("serve.dispatches").label("tenant", "vgg")), 1);
         assert_eq!(reg.hist_i64("exec.layer_cycles").unwrap().count(), 1);
         assert_eq!(reg.counter("exec.faults"), 1);
+    }
+
+    #[test]
+    fn apply_maps_fleet_event_kinds() {
+        let mut reg = Registry::new();
+        apply_event(&mut reg, &Event::DieFailed { die: 3, queued: 7, in_flight: 2 });
+        apply_event(&mut reg, &Event::DieDrained { die: 4, queued: 5 });
+        apply_event(
+            &mut reg,
+            &Event::RequestRerouted {
+                tenant: "alexnet".into(),
+                from_die: 3,
+                to_die: 9,
+                reason: "crash".into(),
+            },
+        );
+        assert_eq!(reg.counter("fleet.die_failures"), 1);
+        assert_eq!(reg.counter("fleet.failed_queued"), 7);
+        assert_eq!(reg.counter("fleet.failed_in_flight"), 2);
+        assert_eq!(reg.counter("fleet.die_drains"), 1);
+        assert_eq!(reg.counter("fleet.drained_queued"), 5);
+        assert_eq!(
+            reg.counter(
+                MetricKey::new("fleet.reroutes")
+                    .label("tenant", "alexnet")
+                    .label("reason", "crash")
+            ),
+            1
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use crate::metrics::LatencyStats;
 use crate::partition::{equal_split, greedy_split, PartitionPolicy};
-use crate::traffic::{self, TrafficModel};
+use crate::traffic::{self, ArrivalStreams, TrafficModel};
 use rana_accel::{layer_refresh_words, ControllerKind, RefreshModel, SchedLayer};
 use rana_core::adaptive::{crit_us, ladder_rung_us, scale_for_delta};
 use rana_core::config_gen::{json_f64, json_string, LayerConfig};
@@ -31,6 +31,7 @@ use rana_core::designs::Design;
 use rana_core::energy::EnergyBreakdown;
 use rana_core::evaluate::Evaluator;
 use rana_core::scheduler::Scheduler;
+use rana_des::EventQueue;
 use rana_edram::thermal::ThermalModel;
 use rana_edram::ClockDivider;
 use rana_zoo::Network;
@@ -94,6 +95,10 @@ pub struct ServeConfig {
     pub horizon_us: f64,
     /// Seed of the arrival stream (the serving loop itself is seed-free).
     pub seed: u64,
+    /// How the arrival stream draws randomness: one shared generator
+    /// (legacy, the committed-baseline behavior) or per-tenant streams
+    /// split off the DES core so tenants never perturb each other.
+    pub arrival_streams: ArrivalStreams,
     /// Admission control: arrivals beyond this many queued requests per
     /// tenant are dropped.
     pub queue_cap: usize,
@@ -132,6 +137,7 @@ impl ServeConfig {
             traffic,
             horizon_us: 1e6,
             seed,
+            arrival_streams: ArrivalStreams::Shared,
             queue_cap: 16,
             min_banks: 4,
             bank_quantum: 4,
@@ -150,6 +156,23 @@ impl ServeConfig {
 struct Request {
     arrival_us: f64,
     deadline_us: f64,
+}
+
+/// DES priority class of request arrivals: at equal timestamps, arrivals
+/// are admitted before the engine wakes to dispatch.
+const CLASS_ARRIVAL: u8 = 0;
+/// DES priority class of engine wake-ups (batch completions, first
+/// arrival after idle).
+const CLASS_WAKE: u8 = 1;
+
+/// The serving loop's event alphabet on the [`rana_des`] core.
+#[derive(Debug, Clone, Copy)]
+enum ServeEvent {
+    /// One request of `tenant` arrives (admission control runs here).
+    Arrival { tenant: usize },
+    /// The engine re-examines its queues: rebalance epoch, expiry purge,
+    /// then dispatch of the next batch (or back to idle).
+    Wake,
 }
 
 /// The per-(tenant, partition size, operating interval) execution profile:
@@ -591,45 +614,85 @@ impl<'a> Server<'a> {
 
     /// Runs the whole scenario — generate arrivals, serve until the
     /// stream and the queues are empty — and returns the report.
+    ///
+    /// The loop is a discrete-event simulation over [`rana_des`]: every
+    /// arrival is an `Arrival` event (class 0), and the engine
+    /// wakes itself with `Wake` events (class 1) at each
+    /// batch completion and at the first arrival after an idle period.
+    /// Class ordering guarantees arrivals at a batch's completion instant
+    /// are admitted before the engine picks the next batch — exactly the
+    /// admit-then-dispatch order of the pre-DES polling loop, which is why
+    /// the ported server reproduces `BENCH_serve.json` byte for byte.
     pub fn run(mut self) -> ServeReport {
         let weights: Vec<f64> = self.specs.iter().map(|s| s.weight).collect();
-        let arrivals = traffic::generate(
-            &weights,
-            self.config.traffic,
-            self.config.horizon_us,
-            self.config.seed,
-        );
-        let mut ai = 0usize;
+        let arrivals = match self.config.arrival_streams {
+            ArrivalStreams::Shared => traffic::generate(
+                &weights,
+                self.config.traffic,
+                self.config.horizon_us,
+                self.config.seed,
+            ),
+            ArrivalStreams::PerTenant => traffic::generate_per_tenant(
+                &weights,
+                self.config.traffic,
+                self.config.horizon_us,
+                self.config.seed,
+            ),
+        };
+        let mut queue: EventQueue<ServeEvent> = EventQueue::new();
+        for a in &arrivals {
+            queue.schedule(a.arrival_us, CLASS_ARRIVAL, ServeEvent::Arrival { tenant: a.tenant });
+        }
         let mut next_rebalance = self.config.rebalance_us;
         if self.config.partition_policy == PartitionPolicy::Dynamic {
             self.rebalance();
         }
-        loop {
-            while ai < arrivals.len() && arrivals[ai].arrival_us <= self.now_us {
-                self.admit(arrivals[ai].tenant, arrivals[ai].arrival_us);
-                ai += 1;
-            }
-            if self.config.partition_policy == PartitionPolicy::Dynamic
-                && self.now_us >= next_rebalance
-            {
-                self.rebalance();
-                while next_rebalance <= self.now_us {
-                    next_rebalance += self.config.rebalance_us;
-                }
-            }
-            self.purge_expired();
-            match self.pick_tenant() {
-                Some(t) => {
-                    let take = self.specs[t].max_batch.min(self.tenants[t].queue.len());
-                    let batch: Vec<Request> = self.tenants[t].queue.drain(..take).collect();
-                    self.execute_batch(t, batch);
-                }
-                None => {
-                    if ai >= arrivals.len() {
-                        break;
+        // The engine starts idle at t = 0; a pending wake means a wake
+        // event is already in the queue (batch completion or first arrival
+        // after idle), so arrivals must not schedule another.
+        let mut idle = true;
+        let mut wake_pending = false;
+        while let Some((t, event)) = queue.pop() {
+            match event {
+                ServeEvent::Arrival { tenant } => {
+                    if idle {
+                        // The die cooled, unpowered, since the queues
+                        // drained.
+                        self.idle_to(t);
+                        idle = false;
                     }
-                    let next_t = arrivals[ai].arrival_us;
-                    self.idle_to(next_t);
+                    self.admit(tenant, t);
+                    if !wake_pending {
+                        wake_pending = true;
+                        queue.schedule(t, CLASS_WAKE, ServeEvent::Wake);
+                    }
+                }
+                ServeEvent::Wake => {
+                    wake_pending = false;
+                    if self.config.partition_policy == PartitionPolicy::Dynamic
+                        && self.now_us >= next_rebalance
+                    {
+                        self.rebalance();
+                        while next_rebalance <= self.now_us {
+                            next_rebalance += self.config.rebalance_us;
+                        }
+                    }
+                    self.purge_expired();
+                    match self.pick_tenant() {
+                        Some(tn) => {
+                            let take = self.specs[tn].max_batch.min(self.tenants[tn].queue.len());
+                            let batch: Vec<Request> =
+                                self.tenants[tn].queue.drain(..take).collect();
+                            // Throttle cooldown and execution advance
+                            // `now_us` past the event's timestamp; the
+                            // completion wake re-enters the DES clock
+                            // there, after any arrivals in between.
+                            self.execute_batch(tn, batch);
+                            wake_pending = true;
+                            queue.schedule(self.now_us, CLASS_WAKE, ServeEvent::Wake);
+                        }
+                        None => idle = true,
+                    }
                 }
             }
         }

@@ -5,7 +5,23 @@
 //! never draws randomness itself, so two runs with the same seed see the
 //! same arrivals in the same order (the byte-determinism contract of
 //! `results/BENCH_serve.json`).
+//!
+//! Two stream modes exist ([`ArrivalStreams`]):
+//!
+//! * [`ArrivalStreams::Shared`] — one generator draws inter-arrival times
+//!   and tenant picks alternately ([`generate`]). This is the legacy mode
+//!   and stays the [`ServeConfig::paper`](crate::ServeConfig::paper)
+//!   default because the committed `baselines/BENCH_serve.json` was
+//!   recorded under it. Its flaw: adding a tenant re-deals every draw, so
+//!   *every* tenant's arrival sequence shifts.
+//! * [`ArrivalStreams::PerTenant`] — tenant `i` draws from its own
+//!   [`rana_des::Streams`] stream with id `i` ([`generate_per_tenant`]),
+//!   so a tenant's arrival process is a pure function of `(master seed,
+//!   tenant index, its own weight)`. Adding, removing or re-weighting
+//!   *other* tenants leaves it untouched. The fleet simulator and new
+//!   scenarios use this mode.
 
+use rana_des::Streams;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
 /// One request arrival, before admission.
@@ -64,6 +80,28 @@ impl TrafficModel {
             TrafficModel::Bursty { burst_factor, burst_fraction, mean_burst_us, .. } => {
                 TrafficModel::Bursty { rate_rps, burst_factor, burst_fraction, mean_burst_us }
             }
+        }
+    }
+}
+
+/// How the arrival stream splits its randomness across tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArrivalStreams {
+    /// One shared generator for the whole mix (legacy; the committed
+    /// serving baselines were recorded in this mode).
+    #[default]
+    Shared,
+    /// Independent per-tenant streams split off the master seed by the
+    /// [`rana_des::stream_seed`] rule: tenants never perturb each other.
+    PerTenant,
+}
+
+impl ArrivalStreams {
+    /// Stable lowercase label (used in JSON and CSV output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalStreams::Shared => "shared",
+            ArrivalStreams::PerTenant => "per-tenant",
         }
     }
 }
@@ -160,6 +198,103 @@ pub fn generate(weights: &[f64], model: TrafficModel, horizon_us: f64, seed: u64
     out
 }
 
+/// One tenant's arrival times over `[0, horizon_us)` from its own
+/// generator (no tenant picks — the caller owns the tenant identity).
+fn single_stream_times(model: TrafficModel, horizon_us: f64, rng: &mut StdRng) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    match model {
+        TrafficModel::Poisson { rate_rps } => {
+            let mean_us = 1e6 / rate_rps;
+            loop {
+                t += exp_draw(rng, mean_us);
+                if t >= horizon_us {
+                    break;
+                }
+                out.push(t);
+            }
+        }
+        TrafficModel::Bursty { rate_rps, burst_factor, burst_fraction, mean_burst_us } => {
+            let burst_rate = rate_rps * burst_factor;
+            let calm_rate =
+                rate_rps * (1.0 - burst_fraction * burst_factor) / (1.0 - burst_fraction);
+            let mean_calm_us = mean_burst_us * (1.0 - burst_fraction) / burst_fraction;
+            let mut bursting = false;
+            let mut phase_end = exp_draw(rng, mean_calm_us);
+            loop {
+                let rate = if bursting { burst_rate } else { calm_rate };
+                let dt = exp_draw(rng, 1e6 / rate);
+                if t + dt >= phase_end {
+                    t = phase_end;
+                    bursting = !bursting;
+                    phase_end =
+                        t + exp_draw(rng, if bursting { mean_burst_us } else { mean_calm_us });
+                } else {
+                    t += dt;
+                    out.push(t);
+                }
+                if t >= horizon_us {
+                    break;
+                }
+            }
+            out.retain(|&a| a < horizon_us);
+        }
+    }
+    out
+}
+
+/// Generates the arrival stream with independent per-tenant RNG streams,
+/// in time order (ties broken by tenant index).
+///
+/// Tenant `i` draws from stream `i` of [`rana_des::Streams`] over
+/// `master_seed` and runs the process shape of `model` at rate
+/// `model.rate_rps() × weights[i]` — weights act as *absolute* rate
+/// multipliers here (a mix whose weights sum to 1 keeps the long-run
+/// total at `rate_rps`). Because nothing about tenant `i`'s draws depends
+/// on the rest of the mix, adding, dropping or re-weighting another
+/// tenant reproduces `i`'s arrival sequence exactly — the isolation the
+/// shared-stream [`generate`] cannot give.
+///
+/// # Panics
+///
+/// Panics on the same invalid inputs as [`generate`].
+pub fn generate_per_tenant(
+    weights: &[f64],
+    model: TrafficModel,
+    horizon_us: f64,
+    master_seed: u64,
+) -> Vec<Arrival> {
+    assert!(!weights.is_empty(), "tenant mix must not be empty");
+    assert!(weights.iter().all(|&w| w > 0.0), "tenant weights must be positive");
+    assert!(model.rate_rps() > 0.0, "offered load must be positive");
+    assert!(horizon_us > 0.0, "horizon must be positive");
+    if let TrafficModel::Bursty { burst_factor, burst_fraction, mean_burst_us, .. } = model {
+        assert!(burst_factor > 1.0, "burst factor must exceed 1, got {burst_factor}");
+        assert!(
+            burst_fraction > 0.0 && burst_fraction < 1.0,
+            "burst fraction must be in (0, 1), got {burst_fraction}"
+        );
+        assert!(
+            burst_fraction * burst_factor < 1.0,
+            "burst fraction x factor must stay under 1 so the calm rate is positive"
+        );
+        assert!(mean_burst_us > 0.0, "mean burst dwell must be positive");
+    }
+    let streams = Streams::new(master_seed);
+    let mut out = Vec::new();
+    for (i, &w) in weights.iter().enumerate() {
+        let mut rng = streams.rng(i as u64);
+        let tenant_model = model.with_rate(model.rate_rps() * w);
+        out.extend(
+            single_stream_times(tenant_model, horizon_us, &mut rng)
+                .into_iter()
+                .map(|t| Arrival { tenant: i, arrival_us: t }),
+        );
+    }
+    out.sort_by(|a, b| a.arrival_us.total_cmp(&b.arrival_us).then(a.tenant.cmp(&b.tenant)));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +328,77 @@ mod tests {
         let a = generate(&w, TrafficModel::Poisson { rate_rps: 2000.0 }, 2e6, 11);
         let first = a.iter().filter(|r| r.tenant == 0).count() as f64 / a.len() as f64;
         assert!((first - 0.7).abs() < 0.05, "tenant-0 share {first}");
+    }
+
+    /// The satellite fix this mode exists for: a tenant's arrival
+    /// sequence is a pure function of its own (stream, weight) — the rest
+    /// of the mix cannot perturb it.
+    #[test]
+    fn per_tenant_streams_isolate_tenants_from_mix_changes() {
+        let m = TrafficModel::Poisson { rate_rps: 800.0 };
+        let two = generate_per_tenant(&[0.5, 0.3], m, 2e6, 9);
+        let three = generate_per_tenant(&[0.5, 0.3, 0.2], m, 2e6, 9);
+        for tenant in 0..2usize {
+            let a: Vec<f64> =
+                two.iter().filter(|r| r.tenant == tenant).map(|r| r.arrival_us).collect();
+            let b: Vec<f64> =
+                three.iter().filter(|r| r.tenant == tenant).map(|r| r.arrival_us).collect();
+            assert_eq!(a, b, "tenant {tenant} perturbed by adding a third tenant");
+            assert!(!a.is_empty());
+        }
+        // Re-weighting tenant 1 must not move tenant 0 either.
+        let reweighted = generate_per_tenant(&[0.5, 0.9], m, 2e6, 9);
+        let a: Vec<f64> = two.iter().filter(|r| r.tenant == 0).map(|r| r.arrival_us).collect();
+        let b: Vec<f64> =
+            reweighted.iter().filter(|r| r.tenant == 0).map(|r| r.arrival_us).collect();
+        assert_eq!(a, b, "tenant 0 perturbed by re-weighting tenant 1");
+        // The shared legacy mode does NOT have this property (that is the
+        // bug being fixed): same mix change, different tenant-0 sequence.
+        let shared_two = generate(&[0.5, 0.3], m, 2e6, 9);
+        let shared_three = generate(&[0.5, 0.3, 0.2], m, 2e6, 9);
+        let sa: Vec<f64> =
+            shared_two.iter().filter(|r| r.tenant == 0).map(|r| r.arrival_us).collect();
+        let sb: Vec<f64> =
+            shared_three.iter().filter(|r| r.tenant == 0).map(|r| r.arrival_us).collect();
+        assert_ne!(sa, sb, "shared mode unexpectedly isolates tenants");
+    }
+
+    #[test]
+    fn per_tenant_streams_are_ordered_deterministic_and_rate_faithful() {
+        let m = TrafficModel::Poisson { rate_rps: 1000.0 };
+        let a = generate_per_tenant(&[0.6, 0.4], m, 4e6, 21);
+        let b = generate_per_tenant(&[0.6, 0.4], m, 4e6, 21);
+        assert_eq!(a, b);
+        for pair in a.windows(2) {
+            assert!(pair[1].arrival_us >= pair[0].arrival_us);
+        }
+        // Weights are absolute rate multipliers: 0.6 + 0.4 keeps 1000 rps.
+        let rate = a.len() as f64 / 4.0;
+        assert!((900.0..=1100.0).contains(&rate), "long-run rate {rate}");
+        let first = a.iter().filter(|r| r.tenant == 0).count() as f64 / a.len() as f64;
+        assert!((first - 0.6).abs() < 0.05, "tenant-0 share {first}");
+        assert_ne!(a, generate_per_tenant(&[0.6, 0.4], m, 4e6, 22));
+    }
+
+    #[test]
+    fn per_tenant_bursty_clumps_too() {
+        let m = TrafficModel::Bursty {
+            rate_rps: 1000.0,
+            burst_factor: 4.0,
+            burst_fraction: 0.2,
+            mean_burst_us: 20_000.0,
+        };
+        let a = generate_per_tenant(&[0.7, 0.3], m, 8e6, 3);
+        let rate = a.len() as f64 / 8.0;
+        assert!((700.0..=1300.0).contains(&rate), "long-run rate {rate}");
+        let mut counts = vec![0usize; 800];
+        for r in &a {
+            counts[(r.arrival_us / 10_000.0) as usize] += 1;
+        }
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        let var =
+            counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / counts.len() as f64;
+        assert!(var > 1.5 * mean, "var {var} vs mean {mean}: not bursty");
     }
 
     #[test]

@@ -144,6 +144,36 @@ pub enum Event {
         /// Bit faults observed.
         faults: u32,
     },
+    /// A fleet die crashed: its queue and any in-flight batch are lost to
+    /// the die and must be re-dispatched (or dropped) by the router.
+    DieFailed {
+        /// Die index within the cluster.
+        die: usize,
+        /// Requests queued on the die at the instant of failure.
+        queued: usize,
+        /// Requests in the batch executing when the die died.
+        in_flight: usize,
+    },
+    /// A fleet die began a graceful drain: it stops accepting work and
+    /// hands its queue back to the router, but finishes the in-flight
+    /// batch and keeps its warm schedule cache for rejoin.
+    DieDrained {
+        /// Die index within the cluster.
+        die: usize,
+        /// Requests handed back to the router.
+        queued: usize,
+    },
+    /// One request moved between dies by the failure/drain machinery.
+    RequestRerouted {
+        /// Tenant (network) name of the request.
+        tenant: String,
+        /// Die the request was queued on.
+        from_die: usize,
+        /// Die the router re-dispatched it to.
+        to_die: usize,
+        /// Why it moved: `crash` or `drain`.
+        reason: String,
+    },
 }
 
 impl Event {
@@ -157,6 +187,9 @@ impl Event {
             Event::CacheLookup { .. } => "cache_lookup",
             Event::TenantDispatch { .. } => "tenant_dispatch",
             Event::ExecCompleted { .. } => "exec_completed",
+            Event::DieFailed { .. } => "die_failed",
+            Event::DieDrained { .. } => "die_drained",
+            Event::RequestRerouted { .. } => "request_rerouted",
         }
     }
 
@@ -230,6 +263,19 @@ impl Event {
                     "\"layer\":{},\"cycles\":{cycles},\"reads\":{reads},\
                      \"refresh_words\":{refresh_words},\"faults\":{faults}",
                     json_string(layer),
+                ));
+            }
+            Event::DieFailed { die, queued, in_flight } => {
+                s.push_str(&format!("\"die\":{die},\"queued\":{queued},\"in_flight\":{in_flight}"));
+            }
+            Event::DieDrained { die, queued } => {
+                s.push_str(&format!("\"die\":{die},\"queued\":{queued}"));
+            }
+            Event::RequestRerouted { tenant, from_die, to_die, reason } => {
+                s.push_str(&format!(
+                    "\"tenant\":{},\"from_die\":{from_die},\"to_die\":{to_die},\"reason\":{}",
+                    json_string(tenant),
+                    json_string(reason),
                 ));
             }
         }
@@ -328,6 +374,14 @@ mod tests {
                 reads: 20,
                 refresh_words: 0,
                 faults: 0,
+            },
+            Event::DieFailed { die: 3, queued: 7, in_flight: 2 },
+            Event::DieDrained { die: 4, queued: 5 },
+            Event::RequestRerouted {
+                tenant: "t".into(),
+                from_die: 3,
+                to_die: 9,
+                reason: "crash".into(),
             },
         ];
         for (i, e) in events.iter().enumerate() {

@@ -55,6 +55,16 @@ bench-exec:
     cargo build --release -p rana-bench
     ./target/release/exp_bench_exec
 
+# Fleet-simulation smoke run (16 dies, two router policies, writes nothing).
+fleet-smoke:
+    cargo build --release -p rana-bench
+    ./target/release/exp_fleet --smoke
+
+# Fleet cluster-size x router-policy sweep (writes results/BENCH_fleet*.json).
+bench-fleet:
+    cargo build --release -p rana-bench
+    ./target/release/exp_fleet
+
 # SIMD feature leg: explicit-SSE2 tile kernels, same tests as the gate.
 test-simd:
     cargo clippy -p rana-accel --features simd --all-targets -- -D warnings

@@ -35,6 +35,9 @@ echo "== metrics smoke test =="
 echo "== functional-engine smoke test =="
 ./target/release/exp_bench_exec --smoke
 
+echo "== fleet smoke test =="
+./target/release/exp_fleet --smoke
+
 echo "== bench-regression gate =="
 ./scripts/bench_gate.sh
 

@@ -18,6 +18,10 @@
 //!   refresh-flag generation, design points and the evaluation platform.
 //! * [`serve`] — multi-tenant inference serving: traffic generation, eDRAM
 //!   bank partitioning, deadline-aware queueing and the thermal closed loop.
+//! * [`des`] — the generic discrete-event-simulation core: deterministic
+//!   event queue, typed cancellation and seeded per-actor RNG streams.
+//! * [`fleet`] — fleet-scale cluster simulation: routing policies, tenant
+//!   sharding and die failure/drain/rejoin over hundreds of dies.
 //!
 //! ## Quickstart
 //!
@@ -33,8 +37,10 @@
 
 pub use rana_accel as accel;
 pub use rana_core as core;
+pub use rana_des as des;
 pub use rana_edram as edram;
 pub use rana_fixq as fixq;
+pub use rana_fleet as fleet;
 pub use rana_nn as nn;
 pub use rana_serve as serve;
 pub use rana_zoo as zoo;
