@@ -367,7 +367,7 @@ pub fn execute_layer_with(
                         last_pulse_idx += 1;
                         let pulse_t = last_pulse_idx as f64 * rc.interval_us;
                         for bank in 0..mem.num_banks() {
-                            if rc.policy.refreshes(bank) {
+                            if rc.pattern.refreshes(bank) {
                                 refresh_words += mem.refresh_bank(bank, pulse_t) as u64;
                             }
                         }

@@ -16,7 +16,7 @@
 //! platform-independent (no epsilon comparisons, `-0.0 ≠ 0.0`).
 
 use crate::config::{AcceleratorConfig, BufferConfig, PeOrganization};
-use crate::dram::Ddr3Model;
+use crate::dram::{Ddr3Model, DdrMapping};
 use crate::layer::SchedLayer;
 use crate::pattern::{Pattern, Tiling};
 use crate::refresh::{ControllerKind, RefreshModel};
@@ -192,6 +192,11 @@ impl Fingerprint for Ddr3Model {
         h.write_f64(self.io_clock_hz);
         h.write_usize(self.bus_bytes);
         h.write_f64(self.efficiency);
+        h.write_u8(match self.mapping {
+            DdrMapping::RowBankCol => 0,
+            DdrMapping::BankRowCol => 1,
+            DdrMapping::RowColBank => 2,
+        });
     }
 }
 

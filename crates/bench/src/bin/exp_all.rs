@@ -29,6 +29,7 @@ fn main() {
         ("exp_trace", &[]),
         ("exp_metrics", &[]),
         ("exp_fleet", &[]),
+        ("exp_policies", &[]),
     ];
     for (name, args) in experiments {
         let status = Command::new(dir.join(name))

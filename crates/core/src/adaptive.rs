@@ -35,7 +35,7 @@
 //! The whole loop is deterministic: for a fixed [`AdaptiveConfig::seed`]
 //! two runs produce byte-identical [`AdaptiveReport::to_json`] output.
 
-use crate::config_gen::{json_f64, json_string, LayerConfig};
+use crate::config_gen::{json_f64, json_string};
 use crate::designs::Design;
 use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::evaluate::Evaluator;
@@ -48,6 +48,7 @@ use rana_accel::{
 };
 use rana_edram::thermal::{ThermalModel, TrajectoryPoint};
 use rana_edram::{ClockDivider, RefreshConfig, RetentionDistribution};
+use rana_policy::{LayerCtx, RefreshStrategy, Strategy};
 use rana_zoo::Network;
 
 /// What the runtime does when a layer's scheduled data lifetime exceeds
@@ -443,6 +444,9 @@ pub struct AdaptiveRuntime {
     base: NetworkSchedule,
     conservative: NetworkSchedule,
     kind: ControllerKind,
+    /// Refresh strategy for per-layer accounting; defaults to the legacy
+    /// controller kind's strategy ([`Strategy::for_kind`]).
+    strategy: Strategy,
     dist: RetentionDistribution,
     /// Tolerable retention at the characterization temperature, µs.
     base_tolerable_us: f64,
@@ -539,6 +543,7 @@ impl AdaptiveRuntime {
             base,
             conservative,
             kind,
+            strategy: Strategy::for_kind(kind),
             base_tolerable_us: dist.tolerable_retention_us(config.target_rate),
             dist,
             nominal_interval_us,
@@ -581,6 +586,21 @@ impl AdaptiveRuntime {
     /// (what [`run_probes`] scales per probe).
     pub fn retention(&self) -> &RetentionDistribution {
         &self.dist
+    }
+
+    /// The refresh strategy accounting each layer's refresh traffic.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Replaces the refresh strategy. The default,
+    /// [`Strategy::for_kind`] of the design's controller, reproduces the
+    /// legacy accounting bit for bit; an [`Strategy::ErrorBudget`]
+    /// strategy stretches each layer's effective interval against the
+    /// *temperature-scaled* retention distribution, so the thermal loop
+    /// and the budget compose.
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.strategy = strategy;
     }
 
     /// Quantized sensor reading for a junction temperature: rounded *up*
@@ -768,11 +788,21 @@ impl AdaptiveRuntime {
 
         // Re-account refresh and energy at the *operating* interval (the
         // chosen schedule may have been priced at a different one); the
-        // sim's traffic already carries any forwarding adjustment.
-        let refresh_words = layer_refresh_words(&chosen.sim, &self.cfg, &refresh_now);
+        // sim's traffic already carries any forwarding adjustment. The
+        // strategy sees the temperature-scaled retention so error budgets
+        // stretch against the cells' current behavior.
+        let dist_now = self.dist.at_temperature_delta(self.thermal.delta_c(sensed_c));
+        let ctx = LayerCtx { sim: &chosen.sim, cfg: &self.cfg, interval_us, retention: &dist_now };
+        let decision = if self.strategy == Strategy::for_kind(self.kind) {
+            self.strategy.decide(&ctx)
+        } else {
+            // Non-default strategies are new decision points: trace them.
+            let scope = format!("pass{}/{}", pass, chosen.sim.layer);
+            rana_policy::decide_traced(&self.strategy, &ctx, &scope)
+        };
+        let refresh_words = decision.refresh_words;
         let energy = self.model.layer_energy(&chosen.sim, refresh_words, &self.cfg);
-        let flags = LayerConfig::for_sim(&chosen.sim, &self.cfg, &refresh_now);
-        let flagged_banks = flags.refresh_flags.iter().filter(|&&f| f).count();
+        let flagged_banks = decision.flagged_banks();
 
         if rana_trace::enabled() {
             let at = format!("pass{}/{}", pass, chosen.sim.layer);

@@ -34,6 +34,7 @@
 //! ```
 
 pub use rana_metrics as metrics;
+pub use rana_policy as policy;
 pub use rana_trace as trace;
 
 pub mod adaptive;

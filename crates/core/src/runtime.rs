@@ -6,7 +6,7 @@
 
 use crate::config_gen::LayerwiseConfig;
 use rana_edram::controller::RefreshIssuer;
-use rana_edram::{EdramArray, RefreshConfig, RefreshPolicy};
+use rana_edram::{EdramArray, RefreshConfig, RefreshPattern};
 
 /// Walks layerwise configurations through time on a functional eDRAM.
 ///
@@ -47,7 +47,7 @@ impl<'a> ControllerRuntime<'a> {
             config,
             issuer: RefreshIssuer::new(RefreshConfig {
                 interval_us: config.tolerable_retention_us,
-                policy: RefreshPolicy::Flagged(Vec::new()),
+                pattern: RefreshPattern::Flagged(Vec::new()),
             }),
             next_layer: 0,
         }

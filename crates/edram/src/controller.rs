@@ -63,9 +63,12 @@ impl ClockDivider {
     }
 }
 
-/// Which banks a refresh pulse touches.
+/// Which banks a refresh pulse touches — the *pulse distribution*, not
+/// the refresh *strategy*. Strategies (RANA flags, access-triggered RTC,
+/// EDEN error budgets) live in `rana-policy` and compile down to a
+/// pattern plus a divider setting for this controller.
 #[derive(Debug, Clone, PartialEq)]
-pub enum RefreshPolicy {
+pub enum RefreshPattern {
     /// Conventional eDRAM: every bank refreshed at every pulse, whether it
     /// stores data or not.
     ConventionalAll,
@@ -78,13 +81,13 @@ pub enum RefreshPolicy {
     BinnedMultiples(Vec<u32>),
 }
 
-impl RefreshPolicy {
+impl RefreshPattern {
     /// Whether `bank` is refreshed at pulse index `pulse` (1-based).
     pub fn refreshes_at(&self, bank: usize, pulse: u64) -> bool {
         match self {
-            RefreshPolicy::ConventionalAll => true,
-            RefreshPolicy::Flagged(flags) => flags.get(bank).copied().unwrap_or(false),
-            RefreshPolicy::BinnedMultiples(m) => match m.get(bank).copied().unwrap_or(0) {
+            RefreshPattern::ConventionalAll => true,
+            RefreshPattern::Flagged(flags) => flags.get(bank).copied().unwrap_or(false),
+            RefreshPattern::BinnedMultiples(m) => match m.get(bank).copied().unwrap_or(0) {
                 0 => false,
                 mult => pulse.is_multiple_of(u64::from(mult)),
             },
@@ -95,7 +98,7 @@ impl RefreshPolicy {
     /// for; used by pulse-index-agnostic accounting).
     pub fn refreshes(&self, bank: usize) -> bool {
         match self {
-            RefreshPolicy::BinnedMultiples(m) => m.get(bank).copied().unwrap_or(0) != 0,
+            RefreshPattern::BinnedMultiples(m) => m.get(bank).copied().unwrap_or(0) != 0,
             _ => self.refreshes_at(bank, 1),
         }
     }
@@ -103,33 +106,43 @@ impl RefreshPolicy {
     /// Average banks refreshed per base pulse, given `num_banks` total.
     pub fn banks_per_pulse(&self, num_banks: usize) -> usize {
         match self {
-            RefreshPolicy::ConventionalAll => num_banks,
-            RefreshPolicy::Flagged(flags) => flags.iter().take(num_banks).filter(|&&f| f).count(),
-            RefreshPolicy::BinnedMultiples(m) => {
+            RefreshPattern::ConventionalAll => num_banks,
+            RefreshPattern::Flagged(flags) => flags.iter().take(num_banks).filter(|&&f| f).count(),
+            RefreshPattern::BinnedMultiples(m) => {
                 (0..num_banks).filter(|&b| m.get(b).copied().unwrap_or(0) == 1).count()
             }
         }
     }
 }
 
-/// A refresh controller: pulse interval plus per-pulse bank policy.
+/// Deprecated name of [`RefreshPattern`]: the enum describes how pulses
+/// are distributed over banks, while "policy" now names the strategy
+/// trait in `rana-policy`.
+#[deprecated(
+    since = "0.1.0",
+    note = "renamed to RefreshPattern; `policy` now names \
+             the refresh-strategy trait in rana-policy"
+)]
+pub type RefreshPolicy = RefreshPattern;
+
+/// A refresh controller: pulse interval plus per-pulse bank pattern.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RefreshConfig {
     /// Pulse period in µs (= the tolerable retention time).
     pub interval_us: f64,
-    /// Bank selection policy.
-    pub policy: RefreshPolicy,
+    /// Bank selection pattern.
+    pub pattern: RefreshPattern,
 }
 
 impl RefreshConfig {
     /// Conventional controller at the given interval.
     pub fn conventional(interval_us: f64) -> Self {
-        Self { interval_us, policy: RefreshPolicy::ConventionalAll }
+        Self { interval_us, pattern: RefreshPattern::ConventionalAll }
     }
 
     /// Optimized controller with explicit flags.
     pub fn flagged(interval_us: f64, flags: Vec<bool>) -> Self {
-        Self { interval_us, policy: RefreshPolicy::Flagged(flags) }
+        Self { interval_us, pattern: RefreshPattern::Flagged(flags) }
     }
 
     /// Pulse times in `(from_us, to_us]` on the global pulse grid
@@ -158,7 +171,7 @@ impl RefreshConfig {
         bank_words: usize,
     ) -> u64 {
         self.pulse_count(from_us, to_us)
-            * self.policy.banks_per_pulse(num_banks) as u64
+            * self.pattern.banks_per_pulse(num_banks) as u64
             * bank_words as u64
     }
 }
@@ -191,7 +204,7 @@ pub struct RefreshIssuer {
     /// Time of the most recent pulse (0 before any — data written at t=0 is
     /// first due one interval later, matching the global-grid behavior).
     last_pulse_us: f64,
-    /// Pulses issued so far (the 1-based index binned policies consult).
+    /// Pulses issued so far (the 1-based index binned patterns consult).
     pulse_seq: u64,
 }
 
@@ -224,7 +237,13 @@ impl RefreshIssuer {
     /// Replaces the per-bank flags (loaded between layers from the layerwise
     /// configuration).
     pub fn load_flags(&mut self, flags: Vec<bool>) {
-        self.config.policy = RefreshPolicy::Flagged(flags);
+        self.config.pattern = RefreshPattern::Flagged(flags);
+    }
+
+    /// Replaces the bank pattern wholesale (strategies programming a
+    /// conventional or binned pattern instead of flags).
+    pub fn load_pattern(&mut self, pattern: RefreshPattern) {
+        self.config.pattern = pattern;
     }
 
     /// Changes the pulse period mid-run (the adaptive runtime reprogramming
@@ -260,7 +279,7 @@ impl RefreshIssuer {
             let pulse_t = due.max(self.now_us);
             self.pulse_seq += 1;
             for bank in 0..mem.num_banks() {
-                if self.config.policy.refreshes_at(bank, self.pulse_seq) {
+                if self.config.pattern.refreshes_at(bank, self.pulse_seq) {
                     self.issued_words += mem.refresh_bank(bank, pulse_t) as u64;
                 }
             }
@@ -301,13 +320,13 @@ mod tests {
     }
 
     #[test]
-    fn flagged_policy_counts() {
-        let p = RefreshPolicy::Flagged(vec![true, false, true, false]);
+    fn flagged_pattern_counts() {
+        let p = RefreshPattern::Flagged(vec![true, false, true, false]);
         assert_eq!(p.banks_per_pulse(4), 2);
         assert!(p.refreshes(0));
         assert!(!p.refreshes(1));
         assert!(!p.refreshes(7), "missing flags default to disabled");
-        assert_eq!(RefreshPolicy::ConventionalAll.banks_per_pulse(4), 4);
+        assert_eq!(RefreshPattern::ConventionalAll.banks_per_pulse(4), 4);
     }
 
     #[test]
@@ -350,8 +369,8 @@ mod tests {
     }
 
     #[test]
-    fn binned_policy_spaces_out_strong_banks() {
-        let p = RefreshPolicy::BinnedMultiples(vec![1, 2, 4, 0]);
+    fn binned_pattern_spaces_out_strong_banks() {
+        let p = RefreshPattern::BinnedMultiples(vec![1, 2, 4, 0]);
         // Bank 0: every pulse; bank 1: even pulses; bank 2: every 4th;
         // bank 3: never.
         assert!(p.refreshes_at(0, 1) && p.refreshes_at(0, 2));
@@ -372,7 +391,7 @@ mod tests {
         mem.write(64, 222, 0.0);
         let mut issuer = RefreshIssuer::new(RefreshConfig {
             interval_us: 45.0,
-            policy: RefreshPolicy::BinnedMultiples(vec![1, 2]),
+            pattern: RefreshPattern::BinnedMultiples(vec![1, 2]),
         });
         issuer.advance(&mut mem, 5000.0);
         assert_eq!(mem.read(0, 5000.0), 111);

@@ -50,7 +50,7 @@ pub mod thermal;
 
 pub use bank::EdramArray;
 pub use buffer::{BankAllocation, DataType, UnifiedBuffer};
-pub use controller::{ClockDivider, RefreshConfig, RefreshPolicy};
+pub use controller::{ClockDivider, RefreshConfig, RefreshPattern};
 pub use energy::{EnergyCosts, MemoryCharacteristics};
 pub use retention::RetentionDistribution;
 pub use stats::MemoryStats;

@@ -15,11 +15,11 @@
 //! physical schedule cache a die must fill before it can dispatch a
 //! tenant at full speed — the resource the cache-affinity router farms.
 
-use rana_accel::{layer_refresh_words, ControllerKind, RefreshModel, SchedLayer};
+use rana_accel::{ControllerKind, RefreshModel, SchedLayer};
 use rana_core::adaptive::crit_us;
-use rana_core::config_gen::LayerConfig;
 use rana_core::energy::EnergyBreakdown;
 use rana_core::evaluate::Evaluator;
+use rana_core::policy::{LayerCtx, RefreshStrategy, Strategy};
 use rana_core::scheduler::Scheduler;
 use rana_zoo::Network;
 use std::collections::HashMap;
@@ -44,17 +44,19 @@ pub struct FleetProfile {
     pub flagged_banks: usize,
 }
 
-/// Memoizes [`FleetProfile`]s by `(tenant index, operating interval)`.
+/// Memoizes [`FleetProfile`]s by `(tenant index, operating interval,
+/// refresh strategy)`.
 ///
 /// Shared across every die of a [`FleetSim`](crate::FleetSim); the
 /// interval key is the exact bit pattern of the divider-quantized rung,
-/// so two dies sensing the same quantized temperature hit the same entry.
+/// so two dies sensing the same quantized temperature (and running the
+/// same strategy) hit the same entry.
 pub struct ProfileCache<'a> {
     eval: &'a Evaluator,
     template: Scheduler,
     kind: ControllerKind,
     reschedule_refresh_weight: f64,
-    cache: HashMap<(usize, u64), FleetProfile>,
+    cache: HashMap<(usize, u64, (u8, u64)), FleetProfile>,
 }
 
 impl<'a> ProfileCache<'a> {
@@ -76,9 +78,23 @@ impl<'a> ProfileCache<'a> {
         self.cache.is_empty()
     }
 
-    /// The profile of one `tenant` inference at `interval_us` (memoized).
-    pub fn profile(&mut self, tenant: usize, network: &Network, interval_us: f64) -> FleetProfile {
-        let key = (tenant, interval_us.to_bits());
+    /// The refresh strategy a die falls back to when none is pinned: the
+    /// byte-compatible legacy path of the design's controller kind.
+    pub fn default_strategy(&self) -> Strategy {
+        Strategy::for_kind(self.kind)
+    }
+
+    /// The profile of one `tenant` inference at `interval_us` under
+    /// `strategy` (`None` follows the design's controller kind; memoized).
+    pub fn profile(
+        &mut self,
+        tenant: usize,
+        network: &Network,
+        interval_us: f64,
+        strategy: Option<Strategy>,
+    ) -> FleetProfile {
+        let strategy = strategy.unwrap_or(Strategy::for_kind(self.kind));
+        let key = (tenant, interval_us.to_bits(), strategy.memo_key());
         if let Some(p) = self.cache.get(&key) {
             return p.clone();
         }
@@ -99,6 +115,7 @@ impl<'a> ProfileCache<'a> {
             rescheduled_layers: 0,
             flagged_banks: 0,
         };
+        let default_strategy = strategy == Strategy::for_kind(self.kind);
         for (idx, base_layer) in base.layers.iter().enumerate() {
             let chosen = if crit_us(base_layer) < interval_us {
                 base_layer.clone()
@@ -106,11 +123,22 @@ impl<'a> ProfileCache<'a> {
                 p.rescheduled_layers += 1;
                 hedged.schedule_layer_memo(&layers[idx], self.eval.cache())
             };
-            let words = layer_refresh_words(&chosen.sim, &self.template.cfg, &refresh_now);
+            let ctx = LayerCtx {
+                sim: &chosen.sim,
+                cfg: &self.template.cfg,
+                interval_us,
+                retention: self.eval.retention(),
+            };
+            let decision = if default_strategy {
+                strategy.decide(&ctx)
+            } else {
+                // Non-default strategies are new decision points: trace them.
+                let scope = format!("fleet/tenant{tenant}/{}", chosen.sim.layer);
+                rana_core::policy::decide_traced(&strategy, &ctx, &scope)
+            };
+            let words = decision.refresh_words;
             let energy = self.template.model.layer_energy(&chosen.sim, words, &self.template.cfg);
-            let flags = LayerConfig::for_sim(&chosen.sim, &self.template.cfg, &refresh_now);
-            p.flagged_banks =
-                p.flagged_banks.max(flags.refresh_flags.iter().filter(|&&f| f).count());
+            p.flagged_banks = p.flagged_banks.max(decision.flagged_banks());
             p.time_us += chosen.sim.time_us;
             p.energy += energy;
             p.refresh_words += words;
@@ -139,14 +167,30 @@ mod tests {
         let nominal = template.refresh.interval_us;
         let mut cache = ProfileCache::new(&eval, template, 4.0);
         let net = rana_zoo::alexnet();
-        let a = cache.profile(0, &net, nominal);
-        let b = cache.profile(0, &net, nominal);
+        let a = cache.profile(0, &net, nominal, None);
+        let b = cache.profile(0, &net, nominal, None);
         assert_eq!(cache.len(), 1, "same (tenant, rung) must hit the memo");
         assert_eq!(a.time_us, b.time_us);
         assert!(a.time_us > 0.0 && a.energy.total_j() > 0.0);
         // A much tighter interval forces reschedules and more refresh.
-        let tight = cache.profile(0, &net, nominal / 16.0);
+        let tight = cache.profile(0, &net, nominal / 16.0, None);
         assert_eq!(cache.len(), 2);
         assert!(tight.refresh_words >= a.refresh_words);
+    }
+
+    #[test]
+    fn strategies_key_the_memo_and_none_matches_the_default() {
+        let eval = Evaluator::paper_platform();
+        let template = eval.scheduler_for(Design::RanaStarE5);
+        let nominal = template.refresh.interval_us;
+        let mut cache = ProfileCache::new(&eval, template, 4.0);
+        let net = rana_zoo::alexnet();
+        let implicit = cache.profile(0, &net, nominal, None);
+        let explicit = cache.profile(0, &net, nominal, Some(cache.default_strategy()));
+        assert_eq!(cache.len(), 1, "None and the explicit default share a key");
+        assert_eq!(implicit.refresh_words, explicit.refresh_words);
+        let conv = cache.profile(0, &net, nominal, Some(Strategy::Conventional));
+        assert_eq!(cache.len(), 2, "a pinned strategy gets its own entry");
+        assert!(conv.refresh_words >= implicit.refresh_words);
     }
 }

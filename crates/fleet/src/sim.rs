@@ -24,6 +24,7 @@ use rana_core::adaptive::{ladder_rung_us, scale_for_delta};
 use rana_core::designs::Design;
 use rana_core::energy::EnergyBreakdown;
 use rana_core::evaluate::Evaluator;
+use rana_core::policy::Strategy;
 use rana_des::{EventQueue, Streams};
 use rana_edram::thermal::ThermalModel;
 use rana_edram::ClockDivider;
@@ -114,6 +115,11 @@ pub struct FleetConfig {
     pub ladder_steps_per_octave: u32,
     /// Hedged refresh pricing for online reschedules (PR 3 semantics).
     pub reschedule_refresh_weight: f64,
+    /// Per-die refresh-strategy mix: die `i` runs `strategies[i % len]`.
+    /// Empty (the default) leaves every die on the design's controller
+    /// kind — the byte-compatible legacy path. A pinned die strategy
+    /// overrides any per-tenant [`TenantSpec::strategy`].
+    pub strategies: Vec<Strategy>,
     /// Scheduled crash / drain / rejoin events (any order; sorted by
     /// time, ties by die index then kind declaration order).
     pub failures: Vec<FailureEvent>,
@@ -145,7 +151,18 @@ impl FleetConfig {
             sensor_quantum_c: 0.25,
             ladder_steps_per_octave: 4,
             reschedule_refresh_weight: 4.0,
+            strategies: Vec::new(),
             failures: Vec::new(),
+        }
+    }
+
+    /// The refresh strategy die `die` runs: its slot of the strategy mix,
+    /// else the tenant's pin, else `None` (the design's controller kind).
+    pub fn die_strategy(&self, die: usize, tenant: usize) -> Option<Strategy> {
+        if self.strategies.is_empty() {
+            self.tenants[tenant].strategy
+        } else {
+            Some(self.strategies[die % self.strategies.len()])
         }
     }
 }
@@ -526,7 +543,9 @@ impl<'a> FleetSim<'a> {
             }
         }
 
-        let profile = self.profiles.profile(tn, &self.config.tenants[tn].network, interval_us);
+        let strategy = self.config.die_strategy(d, tn);
+        let profile =
+            self.profiles.profile(tn, &self.config.tenants[tn].network, interval_us, strategy);
         let reload_j = self.profiles.reload_j(&profile);
         let b = batch.len() as f64;
         // Weights stay resident across the batch: requests 2..B skip the

@@ -88,6 +88,32 @@ pub fn apply_event(reg: &mut Registry, event: &Event) {
                 1,
             );
         }
+        Event::PolicyDecision {
+            strategy,
+            interval_multiple,
+            refresh_words,
+            skipped_words,
+            failure_rate,
+            reason,
+            ..
+        } => {
+            reg.counter_add(
+                MetricKey::new("policy.decisions")
+                    .label("strategy", strategy.as_str())
+                    .label("reason", reason.as_str()),
+                1,
+            );
+            reg.counter_add(
+                MetricKey::new("policy.refresh_words").label("strategy", strategy.as_str()),
+                *refresh_words,
+            );
+            reg.counter_add(
+                MetricKey::new("policy.skipped_words").label("strategy", strategy.as_str()),
+                *skipped_words,
+            );
+            reg.observe_i64("policy.interval_multiple", i64::from(*interval_multiple));
+            reg.observe_f64("policy.failure_rate", *failure_rate);
+        }
     }
 }
 
@@ -257,6 +283,33 @@ mod tests {
             ),
             1
         );
+    }
+
+    #[test]
+    fn apply_maps_policy_decisions() {
+        let mut reg = Registry::new();
+        apply_event(
+            &mut reg,
+            &Event::PolicyDecision {
+                scope: "alexnet/conv1".into(),
+                strategy: "error-budget".into(),
+                banks: 3,
+                interval_multiple: 53,
+                refresh_words: 1024,
+                skipped_words: 4096,
+                failure_rate: 1e-4,
+                reason: "budget-stretch".into(),
+            },
+        );
+        let by_strategy = |name: &str| MetricKey::new(name).label("strategy", "error-budget");
+        assert_eq!(
+            reg.counter(by_strategy("policy.decisions").label("reason", "budget-stretch")),
+            1
+        );
+        assert_eq!(reg.counter(by_strategy("policy.refresh_words")), 1024);
+        assert_eq!(reg.counter(by_strategy("policy.skipped_words")), 4096);
+        assert_eq!(reg.hist_i64("policy.interval_multiple").unwrap().count(), 1);
+        assert_eq!(reg.hist_f64("policy.failure_rate").unwrap().count(), 1);
     }
 
     #[test]

@@ -24,12 +24,13 @@
 use crate::metrics::LatencyStats;
 use crate::partition::{equal_split, greedy_split, PartitionPolicy};
 use crate::traffic::{self, ArrivalStreams, TrafficModel};
-use rana_accel::{layer_refresh_words, ControllerKind, RefreshModel, SchedLayer};
+use rana_accel::{ControllerKind, RefreshModel, SchedLayer};
 use rana_core::adaptive::{crit_us, ladder_rung_us, scale_for_delta};
-use rana_core::config_gen::{json_f64, json_string, LayerConfig};
+use rana_core::config_gen::{json_f64, json_string};
 use rana_core::designs::Design;
 use rana_core::energy::EnergyBreakdown;
 use rana_core::evaluate::Evaluator;
+use rana_core::policy::{LayerCtx, RefreshStrategy, Strategy};
 use rana_core::scheduler::Scheduler;
 use rana_des::EventQueue;
 use rana_edram::thermal::ThermalModel;
@@ -50,13 +51,22 @@ pub struct TenantSpec {
     /// Most requests servable back to back with weights held resident
     /// (weight DRAM loads are paid once per batch, not per request).
     pub max_batch: usize,
+    /// Refresh strategy for this tenant's layers; `None` follows the
+    /// design's controller kind (the byte-compatible legacy path).
+    pub strategy: Option<Strategy>,
 }
 
 impl TenantSpec {
     /// A tenant with the default serving knobs (8× deadline slack,
     /// batches of up to 4).
     pub fn new(network: Network, weight: f64) -> Self {
-        Self { network, weight, deadline_slack: 8.0, max_batch: 4 }
+        Self { network, weight, deadline_slack: 8.0, max_batch: 4, strategy: None }
+    }
+
+    /// Pins the tenant to an explicit refresh strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = Some(strategy);
+        self
     }
 }
 
@@ -363,6 +373,8 @@ impl<'a> Server<'a> {
             rescheduled_layers: 0,
             flagged_banks: 0,
         };
+        let strategy = self.specs[t].strategy.unwrap_or(Strategy::for_kind(self.kind));
+        let default_strategy = strategy == Strategy::for_kind(self.kind);
         for (idx, base_layer) in base.layers.iter().enumerate() {
             // Decision rule (PR 3): keep the base schedule iff it stays
             // refresh-free under the operating interval.
@@ -372,11 +384,22 @@ impl<'a> Server<'a> {
                 op.rescheduled_layers += 1;
                 hedged.schedule_layer_memo(&layers[idx], self.eval.cache())
             };
-            let words = layer_refresh_words(&chosen.sim, &nominal.cfg, &refresh_now);
+            let ctx = LayerCtx {
+                sim: &chosen.sim,
+                cfg: &nominal.cfg,
+                interval_us,
+                retention: self.eval.retention(),
+            };
+            let decision = if default_strategy {
+                strategy.decide(&ctx)
+            } else {
+                // Non-default strategies are new decision points: trace them.
+                let scope = format!("tenant{t}/{}", chosen.sim.layer);
+                rana_core::policy::decide_traced(&strategy, &ctx, &scope)
+            };
+            let words = decision.refresh_words;
             let energy = self.template.model.layer_energy(&chosen.sim, words, &nominal.cfg);
-            let flags = LayerConfig::for_sim(&chosen.sim, &nominal.cfg, &refresh_now);
-            op.flagged_banks =
-                op.flagged_banks.max(flags.refresh_flags.iter().filter(|&&f| f).count());
+            op.flagged_banks = op.flagged_banks.max(decision.flagged_banks());
             op.time_us += chosen.sim.time_us;
             op.energy += energy;
             op.refresh_words += words;

@@ -174,6 +174,32 @@ pub enum Event {
         /// Why it moved: `crash` or `drain`.
         reason: String,
     },
+    /// One refresh-strategy decision for one layer: which strategy ran,
+    /// what it chose to refresh and what it skipped relative to a
+    /// conventional all-banks controller at the same base interval.
+    PolicyDecision {
+        /// What the decision covers (layer, tenant, or die scope).
+        scope: String,
+        /// Strategy label (`conventional`, `rana-flagged`,
+        /// `access-triggered`, `error-budget`).
+        strategy: String,
+        /// Banks the decision flags for refresh (0 = refresh-free).
+        banks: usize,
+        /// Effective refresh interval as a multiple of the base interval
+        /// (1 for exact-interval strategies; >1 when an error budget
+        /// stretches the divider).
+        interval_multiple: u32,
+        /// Words the strategy refreshes over the scope.
+        refresh_words: u64,
+        /// Words a conventional controller would have refreshed that this
+        /// strategy skips.
+        skipped_words: u64,
+        /// Retention-failure rate the resident data is exposed to.
+        failure_rate: f64,
+        /// Why: `refresh-free`, `conventional`, `flagged`, `access-live`,
+        /// `budget-stretch`, …
+        reason: String,
+    },
 }
 
 impl Event {
@@ -190,6 +216,7 @@ impl Event {
             Event::DieFailed { .. } => "die_failed",
             Event::DieDrained { .. } => "die_drained",
             Event::RequestRerouted { .. } => "request_rerouted",
+            Event::PolicyDecision { .. } => "policy_decision",
         }
     }
 
@@ -275,6 +302,27 @@ impl Event {
                 s.push_str(&format!(
                     "\"tenant\":{},\"from_die\":{from_die},\"to_die\":{to_die},\"reason\":{}",
                     json_string(tenant),
+                    json_string(reason),
+                ));
+            }
+            Event::PolicyDecision {
+                scope,
+                strategy,
+                banks,
+                interval_multiple,
+                refresh_words,
+                skipped_words,
+                failure_rate,
+                reason,
+            } => {
+                s.push_str(&format!(
+                    "\"scope\":{},\"strategy\":{},\"banks\":{banks},\
+                     \"interval_multiple\":{interval_multiple},\
+                     \"refresh_words\":{refresh_words},\"skipped_words\":{skipped_words},\
+                     \"failure_rate\":{},\"reason\":{}",
+                    json_string(scope),
+                    json_string(strategy),
+                    json_f64(*failure_rate),
                     json_string(reason),
                 ));
             }
@@ -382,6 +430,16 @@ mod tests {
                 from_die: 3,
                 to_die: 9,
                 reason: "crash".into(),
+            },
+            Event::PolicyDecision {
+                scope: "alexnet/conv1".into(),
+                strategy: "error-budget".into(),
+                banks: 3,
+                interval_multiple: 53,
+                refresh_words: 1024,
+                skipped_words: 4096,
+                failure_rate: 1e-4,
+                reason: "budget-stretch".into(),
             },
         ];
         for (i, e) in events.iter().enumerate() {

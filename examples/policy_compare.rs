@@ -1,0 +1,63 @@
+//! The refresh-strategy lab in one story: four refresh strategies —
+//! conventional all-bank refresh, RANA's flagged banks, RTC-style
+//! access-triggered refresh and EDEN-style error-budget stretching —
+//! decide the same VGG-16 schedule layer by layer under one trait, and
+//! the DDR3 address-mapping knob reprices the off-chip traffic the
+//! schedule generates.
+//!
+//! Run with: `cargo run --release --example policy_compare`
+
+use rana_repro::accel::dram::{Ddr3Model, DdrMapping};
+use rana_repro::core::{designs::Design, evaluate::Evaluator};
+use rana_repro::policy::{LayerCtx, RefreshStrategy, Strategy};
+use rana_repro::zoo;
+
+fn main() {
+    let eval = Evaluator::paper_platform();
+    let template = eval.scheduler_for(Design::RanaStarE5);
+    let interval_us = template.refresh.interval_us;
+    let net = zoo::vgg16();
+    let ne = eval.evaluate(&net, Design::RanaStarE5);
+
+    println!("-- VGG-16 on RANA*(E-5), base rung {interval_us:.0} us --\n");
+    println!(
+        "{:<18} {:>14} {:>14} {:>10} {:>12}",
+        "strategy", "refresh words", "skipped words", "energy mJ", "max rate"
+    );
+    for strategy in Strategy::lineup(1e-4) {
+        let mut words = 0u64;
+        let mut skipped = 0u64;
+        let mut rate = 0.0f64;
+        let mut energy = 0.0f64;
+        for layer in &ne.schedule.layers {
+            let ctx = LayerCtx {
+                sim: &layer.sim,
+                cfg: &template.cfg,
+                interval_us,
+                retention: eval.retention(),
+            };
+            let d = strategy.decide(&ctx);
+            words += d.refresh_words;
+            skipped += d.skipped_words;
+            rate = rate.max(d.failure_rate);
+            energy +=
+                template.model.layer_energy(&layer.sim, d.refresh_words, &template.cfg).total_j();
+        }
+        println!(
+            "{:<18} {:>14} {:>14} {:>10.3} {:>12.2e}",
+            strategy.name(),
+            words,
+            skipped,
+            energy * 1e3,
+            rate
+        );
+    }
+
+    println!("\n-- the same schedules under the three DDR3 address mappings --\n");
+    for mapping in DdrMapping::all() {
+        let ddr = Ddr3Model::ddr3_1600().with_mapping(mapping);
+        let total_us: f64 =
+            ne.schedule.layers.iter().map(|l| ddr.transfer_time_us_for(&l.sim.traffic)).sum();
+        println!("  {:<14} {:8.1} us of DDR3 transfer", mapping.label(), total_us);
+    }
+}

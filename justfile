@@ -65,6 +65,16 @@ bench-fleet:
     cargo build --release -p rana-bench
     ./target/release/exp_fleet
 
+# Refresh-strategy-lab smoke run (AlexNet identities, writes nothing).
+policy-smoke:
+    cargo build --release -p rana-bench
+    ./target/release/exp_policies --smoke
+
+# Refresh-strategy lab: 4 strategies x 5-net zoo (writes results/BENCH_policies.json).
+bench-policies:
+    cargo build --release -p rana-bench
+    ./target/release/exp_policies
+
 # SIMD feature leg: explicit-SSE2 tile kernels, same tests as the gate.
 test-simd:
     cargo clippy -p rana-accel --features simd --all-targets -- -D warnings

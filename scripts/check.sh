@@ -38,6 +38,9 @@ echo "== functional-engine smoke test =="
 echo "== fleet smoke test =="
 ./target/release/exp_fleet --smoke
 
+echo "== policy smoke test =="
+./target/release/exp_policies --smoke
+
 echo "== bench-regression gate =="
 ./scripts/bench_gate.sh
 

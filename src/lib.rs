@@ -14,6 +14,9 @@
 //! * [`accel`] — cycle-level CNN accelerator simulator (ID/OD/WD patterns).
 //! * [`nn`] — fixed-point CNN training substrate with retention-fault
 //!   injection (the retention-aware training method).
+//! * [`policy`] — the refresh-strategy lab: one trait over conventional,
+//!   RANA-flagged, access-triggered (RTC) and error-budget (EDEN)
+//!   refresh, plus the per-word access-trace oracle.
 //! * [`core`] — the RANA framework: energy model, hybrid-pattern scheduler,
 //!   refresh-flag generation, design points and the evaluation platform.
 //! * [`serve`] — multi-tenant inference serving: traffic generation, eDRAM
@@ -42,5 +45,6 @@ pub use rana_edram as edram;
 pub use rana_fixq as fixq;
 pub use rana_fleet as fleet;
 pub use rana_nn as nn;
+pub use rana_policy as policy;
 pub use rana_serve as serve;
 pub use rana_zoo as zoo;
