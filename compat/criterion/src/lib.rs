@@ -9,6 +9,8 @@
 //! and reported as a plain `name  median  (min .. max)` line. There is
 //! no statistical analysis, HTML report, or baseline comparison.
 
+#![warn(missing_docs)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -10,6 +10,8 @@
 //! number and seed. Shrinking is intentionally not implemented — a
 //! failing case prints its inputs via `Debug` instead.
 
+#![warn(missing_docs)]
+
 use std::fmt;
 use std::ops::{Range, RangeInclusive};
 

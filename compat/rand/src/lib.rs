@@ -8,6 +8,8 @@
 //! seed, and with no stability guarantee across versions (the same
 //! contract the real `StdRng` gives).
 
+#![warn(missing_docs)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// A source of random 64-bit words.

@@ -9,7 +9,12 @@
 //! simulated hour.
 //!
 //! Asserts power-of-two-choices beats random routing on fleet p99
-//! latency at every cluster size of at least 256 dies. Emits
+//! latency at every cluster size of at least 256 dies, then prices cold
+//! starts: a 64-die cold-vs-warm comparison (fresh evaluators, nonzero
+//! `compile_penalty_us`, warm side precompiled into a
+//! [`ScheduleStore`]) lands under
+//! `"cold_warm"` in the JSON — the warm run must absorb every Stage-2
+//! search. Emits
 //! `results/fleet_policies.csv`, a byte-deterministic
 //! `results/BENCH_fleet.json`, and `results/BENCH_fleet_timing.json`
 //! with per-scenario wall-clock (the one intentionally non-deterministic
@@ -21,8 +26,10 @@
 //! single-threaded by construction.
 
 use rana_bench::{banner, seed_from_env, threads_from_env, write_csv};
+use rana_core::config_gen::json_f64;
 use rana_core::designs::Design;
 use rana_core::evaluate::Evaluator;
+use rana_core::store::{precompile, PrecompileSpec, ScheduleStore};
 use rana_fleet::{FailureEvent, FailureKind, FleetConfig, FleetReport, FleetSim, RouterPolicy};
 use rana_serve::{TenantSpec, TrafficModel};
 use std::time::Instant;
@@ -186,6 +193,9 @@ fn main() {
         fr.deadline_miss_rate(),
     );
 
+    // -- cold vs warm start: the persistent store prices out -----------
+    let cold_warm_json = run_cold_warm(cap, seed);
+
     // -- outputs -------------------------------------------------------
     let mut all: Vec<&ScenarioResult> = results.iter().collect();
     all.push(&failure);
@@ -223,11 +233,12 @@ fn main() {
     );
 
     let json = format!(
-        "{{\"experiment\":\"fleet\",\"seed\":{seed},\"per_die_capacity_rps\":{},\"load\":{},\"scenarios\":[{}],\"disruption\":{}}}\n",
+        "{{\"experiment\":\"fleet\",\"seed\":{seed},\"per_die_capacity_rps\":{},\"load\":{},\"scenarios\":[{}],\"disruption\":{},\"cold_warm\":{}}}\n",
         rana_core::config_gen::json_f64(cap),
         rana_core::config_gen::json_f64(LOAD),
         results.iter().map(ScenarioResult::to_json).collect::<Vec<_>>().join(","),
-        failure.to_json()
+        failure.to_json(),
+        cold_warm_json
     );
     let timing_entries: Vec<String> = all
         .iter()
@@ -250,6 +261,95 @@ fn main() {
         eval.cache().misses(),
         eval.cache().len()
     );
+}
+
+/// Modeled stall per fresh Stage-2 search in the cold-vs-warm
+/// comparison, µs (the sweep above keeps the committed-baseline 0).
+const COLD_WARM_PENALTY_US: f64 = 2_000.0;
+
+/// Prices the fleet cold start the persistent schedule store eliminates:
+/// a 64-die power-of-two-choices scenario runs twice on fresh evaluators
+/// with a nonzero compile penalty — once cold, once warm-started from an
+/// in-process precompiled [`ScheduleStore`] covering the zoo mix at the
+/// full buffer (fleet scaling is die-level, so no partitions to cover).
+/// Returns the deterministic `"cold_warm"` JSON object for
+/// `BENCH_fleet.json`.
+fn run_cold_warm(cap: f64, seed: u64) -> String {
+    let cfg = || {
+        let mut c = FleetConfig::paper(
+            zoo_mix(),
+            TrafficModel::Poisson { rate_rps: LOAD * cap * 64.0 },
+            64,
+            RouterPolicy::PowerOfTwoChoices,
+            seed,
+        );
+        c.horizon_us = 5_000_000.0;
+        c.compile_penalty_us = COLD_WARM_PENALTY_US;
+        c
+    };
+    println!("\ncold vs warm start (64 dies, po2c, {COLD_WARM_PENALTY_US:.0} us/search):");
+
+    let cold_eval = Evaluator::paper_platform();
+    let cold = FleetSim::new(&cold_eval, cfg()).run();
+
+    // Five octaves of derating cover the thermal range an undisrupted
+    // 0.7-load fleet visits (the dies run well below 85 °C).
+    let warm_eval = Evaluator::paper_platform();
+    let mut store = ScheduleStore::new();
+    let spec = PrecompileSpec { ladder_octaves: 5, ..Default::default() };
+    let nets: Vec<rana_zoo::Network> = zoo_mix().into_iter().map(|s| s.network).collect();
+    let stats = precompile(&warm_eval, &nets, &spec, &mut store);
+    let preloaded = store.warm_start(warm_eval.cache());
+    let warm = FleetSim::new(&warm_eval, cfg()).run();
+    let (warm_hits, warm_fresh) = (warm_eval.cache().warm_hits(), warm_eval.cache().misses());
+    let hit_rate = warm_hits as f64 / (warm_hits + warm_fresh) as f64;
+
+    for (label, r) in [("cold", &cold), ("warm", &warm)] {
+        println!(
+            "  {label}: p99 {:>9.1} us | served {:>6} | compile stall {:>9.1} us",
+            r.latency.p99_us, r.served, r.compile_stall_us
+        );
+    }
+    println!(
+        "  store: {} entries ({} searches), {preloaded} preloaded, {warm_hits} warm hits, \
+         {warm_fresh} fresh ({:.1}% absorbed)",
+        store.len(),
+        stats.searches,
+        hit_rate * 100.0
+    );
+    assert!(cold.compile_stall_us > 0.0, "the cold run must pay compile stalls");
+    assert_eq!(warm.compile_stall_us, 0.0, "the precompiled store must absorb every search");
+    assert!(warm_hits > 0, "the warm run must hit preloaded schedules");
+    // Across 64 dies the per-die stalls amortize, so the fleet p99 shift
+    // sits within histogram-bucket resolution (the warm run also serves
+    // the marginal requests the cold one drops); the eliminated stall is
+    // the first-order signal. Bound the p99 to a sanity band only.
+    assert!(
+        warm.latency.p99_us <= 1.05 * cold.latency.p99_us,
+        "warm-start p99 ({} us) regressed past the cold-start band ({} us)",
+        warm.latency.p99_us,
+        cold.latency.p99_us
+    );
+
+    let leg = |label: &str, r: &FleetReport| {
+        format!(
+            "\"{label}\":{{\"p99_us\":{},\"served\":{},\"compile_stall_us\":{}}}",
+            json_f64(r.latency.p99_us),
+            r.served,
+            json_f64(r.compile_stall_us)
+        )
+    };
+    format!(
+        "{{\"compile_penalty_us\":{},\"store_entries\":{},\"preloaded\":{},\"warm_hits\":{},\"warm_fresh_searches\":{},\"persistent_hit_rate\":{},{},{}}}",
+        json_f64(COLD_WARM_PENALTY_US),
+        store.len(),
+        preloaded,
+        warm_hits,
+        warm_fresh,
+        json_f64(hit_rate),
+        leg("cold", &cold),
+        leg("warm", &warm)
+    )
 }
 
 /// `--smoke`: a 16-die subset (random vs power-of-two-choices plus one

@@ -9,14 +9,25 @@
 //! at most once across the whole sweep.
 //!
 //! Asserts dynamic partitioning beats static on energy/inference at two
-//! or more Poisson load points. Emits `results/serve_policies.csv`,
+//! or more Poisson load points, then prices cold starts: a cold-vs-warm
+//! comparison runs the same two-tenant scenario on a fresh evaluator with
+//! a nonzero `compile_penalty_us`, once with an empty schedule cache and
+//! once warm-started from an in-process precompiled
+//! [`ScheduleStore`] — the warm run must
+//! absorb every Stage-2 search (zero compile stall) and its p99 must not
+//! exceed the cold one. Emits `results/serve_policies.csv`,
 //! `results/serve_tenants.csv` and a byte-deterministic
-//! `results/BENCH_serve.json`. `--smoke` runs a two-tenant subset in a
-//! few seconds and writes nothing.
+//! `results/BENCH_serve.json` (with the comparison under `"cold_warm"`).
+//! `--smoke` runs a two-tenant subset in a few seconds and writes
+//! nothing; `--store <path>` warm-starts the shared evaluator from a
+//! store written by `rana-compile precompile` and reports the persistent
+//! hit count (the `scripts/check.sh` store-backed smoke leg).
 
 use rana_bench::{banner, seed_from_env, threads_from_env, write_csv};
+use rana_core::config_gen::json_f64;
 use rana_core::designs::Design;
 use rana_core::evaluate::Evaluator;
+use rana_core::store::{precompile, PrecompileSpec, ScheduleStore};
 use rana_serve::{
     PartitionPolicy, QueuePolicy, ServeConfig, ServeReport, Server, TenantSpec, TrafficModel,
 };
@@ -105,6 +116,17 @@ fn run_scenario(
     ScenarioResult { name: name.to_string(), load, report }
 }
 
+/// Value of `--store <path>`, if present.
+fn store_arg() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--store" {
+            return Some(args.next().expect("--store needs a path"));
+        }
+    }
+    None
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     banner("EXP serve", "Multi-tenant serving: FIFO/EDF x static/dynamic eDRAM bank partitioning");
@@ -112,8 +134,26 @@ fn main() {
     println!("worker threads: {}, seed: {seed}\n", threads_from_env());
     let eval = Evaluator::paper_platform();
 
+    // A persistent store (written by `rana-compile precompile`) warm-starts
+    // the shared evaluator's schedule cache before any scenario runs.
+    let warmed_from_store = store_arg().map(|path| {
+        let store = ScheduleStore::load(std::path::Path::new(&path))
+            .unwrap_or_else(|e| panic!("could not load schedule store {path}: {e}"));
+        let preloaded = store.warm_start(eval.cache());
+        println!("warm-started {preloaded} schedules from {path}\n");
+        preloaded
+    });
+
     if smoke {
         run_smoke(&eval, seed);
+        if let Some(preloaded) = warmed_from_store {
+            let (warm_hits, fresh) = (eval.cache().warm_hits(), eval.cache().misses());
+            println!(
+                "persistent store: {preloaded} preloaded, {warm_hits} warm hits, \
+                 {fresh} fresh searches"
+            );
+            assert!(warm_hits > 0, "a store-backed smoke run must hit preloaded schedules");
+        }
         return;
     }
 
@@ -217,6 +257,9 @@ fn main() {
         served(1.1, QueuePolicy::Edf)
     );
 
+    // -- cold vs warm start: the persistent store prices out -----------
+    let cold_warm_json = run_cold_warm(&eval, seed);
+
     // -- outputs -------------------------------------------------------
     let policy_rows: Vec<String> = results
         .iter()
@@ -282,9 +325,10 @@ fn main() {
     );
 
     let json = format!(
-        "{{\"experiment\":\"serve\",\"seed\":{seed},\"capacity_rps\":{},\"scenarios\":[{}]}}\n",
+        "{{\"experiment\":\"serve\",\"seed\":{seed},\"capacity_rps\":{},\"scenarios\":[{}],\"cold_warm\":{}}}\n",
         rana_core::config_gen::json_f64(cap),
-        results.iter().map(ScenarioResult::to_json).collect::<Vec<_>>().join(",")
+        results.iter().map(ScenarioResult::to_json).collect::<Vec<_>>().join(","),
+        cold_warm_json
     );
     let dir = std::path::Path::new("results");
     match std::fs::create_dir_all(dir)
@@ -299,6 +343,95 @@ fn main() {
         eval.cache().misses(),
         eval.cache().len()
     );
+}
+
+/// Modeled stall per fresh Stage-2 search in the cold-vs-warm
+/// comparison, µs (the main sweep keeps the committed-baseline 0).
+const COLD_WARM_PENALTY_US: f64 = 2_000.0;
+
+/// Prices the cold start the persistent schedule store eliminates: the
+/// same two-tenant scenario runs twice on fresh evaluators with a
+/// nonzero compile penalty — once cold, once warm-started from an
+/// in-process precompiled [`ScheduleStore`] — and the warm run must
+/// absorb every Stage-2 search. Returns the deterministic `"cold_warm"`
+/// JSON object for `BENCH_serve.json`.
+fn run_cold_warm(shared: &Evaluator, seed: u64) -> String {
+    let specs = || {
+        vec![TenantSpec::new(rana_zoo::alexnet(), 0.6), TenantSpec::new(rana_zoo::googlenet(), 0.4)]
+    };
+    // Traffic rate from the shared (already warm) evaluator: both runs
+    // then see byte-identical arrival streams.
+    let cap = capacity_rps(shared, &specs());
+    let cfg = || {
+        let mut c = ServeConfig::paper(TrafficModel::Poisson { rate_rps: 0.8 * cap }, seed);
+        c.horizon_us = 2_000_000.0;
+        c.compile_penalty_us = COLD_WARM_PENALTY_US;
+        c
+    };
+    println!("\ncold vs warm start (two tenants, 0.80 load, {COLD_WARM_PENALTY_US:.0} us/search):");
+
+    let cold_eval = Evaluator::paper_platform();
+    let cold = Server::new(&cold_eval, specs(), cfg()).run();
+
+    // Warm: precompile the scenario's grid — both tenants' partitions
+    // (equal_split(44, 2) = 22) plus the full buffer the isolated-latency
+    // probes use, five octaves of derating (the 85 °C throttle cap is
+    // 40 °C above ambient ≈ 4 octaves, plus the retention margin).
+    let warm_eval = Evaluator::paper_platform();
+    let mut store = ScheduleStore::new();
+    let spec =
+        PrecompileSpec { bank_counts: vec![22, 44], ladder_octaves: 5, ..Default::default() };
+    let stats =
+        precompile(&warm_eval, &[rana_zoo::alexnet(), rana_zoo::googlenet()], &spec, &mut store);
+    let preloaded = store.warm_start(warm_eval.cache());
+    let warm = Server::new(&warm_eval, specs(), cfg()).run();
+    let (warm_hits, warm_fresh) = (warm_eval.cache().warm_hits(), warm_eval.cache().misses());
+    let hit_rate = warm_hits as f64 / (warm_hits + warm_fresh) as f64;
+
+    for (label, r) in [("cold", &cold), ("warm", &warm)] {
+        println!(
+            "  {label}: p99 {:>9.1} us | queue-wait p99 {:>9.1} us | served {:>4} | \
+             compile stall {:>8.1} us",
+            r.latency.p99_us, r.queue_wait.p99_us, r.served, r.compile_stall_us
+        );
+    }
+    println!(
+        "  store: {} entries ({} searches), {preloaded} preloaded, {warm_hits} warm hits, \
+         {warm_fresh} fresh ({:.1}% absorbed)",
+        store.len(),
+        stats.searches,
+        hit_rate * 100.0
+    );
+    assert!(cold.compile_stall_us > 0.0, "the cold run must pay compile stalls");
+    assert_eq!(warm.compile_stall_us, 0.0, "the precompiled store must absorb every search");
+    assert!(warm_hits > 0, "the warm run must hit preloaded schedules");
+    assert!(
+        warm.latency.p99_us <= cold.latency.p99_us,
+        "warm-start p99 ({} us) must not exceed cold-start p99 ({} us)",
+        warm.latency.p99_us,
+        cold.latency.p99_us
+    );
+
+    let leg = |label: &str, r: &ServeReport| {
+        format!(
+            "\"{label}\":{{\"p99_us\":{},\"queue_wait_p99_us\":{},\"served\":{},\"compile_stall_us\":{}}}",
+            json_f64(r.latency.p99_us),
+            json_f64(r.queue_wait.p99_us),
+            r.served,
+            json_f64(r.compile_stall_us)
+        )
+    };
+    format!(
+        "{{\"compile_penalty_us\":{},\"store_entries\":{},\"preloaded\":{},\"warm_hits\":{},\"warm_fresh_searches\":{},\"persistent_hit_rate\":{},{},{}}}",
+        json_f64(COLD_WARM_PENALTY_US),
+        store.len(),
+        preloaded,
+        warm_hits,
+        warm_fresh,
+        json_f64(hit_rate),
+        leg("cold", &cold),
+        leg("warm", &warm)
+    )
 }
 
 /// `--smoke`: a two-tenant, single-load subset that exercises traffic

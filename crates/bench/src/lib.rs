@@ -4,6 +4,8 @@
 //! rows/series, absolute numbers from our simulator (EXPERIMENTS.md records
 //! paper-vs-measured side by side).
 
+#![warn(missing_docs)]
+
 pub mod json;
 pub mod svg;
 

@@ -432,6 +432,27 @@ impl Scenario {
 /// [`AdaptiveRuntime::run_pass`] / [`AdaptiveRuntime::idle`] (or
 /// [`AdaptiveRuntime::run_scenario`]), then read the accumulated
 /// [`AdaptiveRuntime::report`].
+///
+/// # Example
+///
+/// ```
+/// use rana_core::adaptive::{AdaptiveConfig, AdaptiveRuntime, FallbackPolicy};
+/// use rana_core::designs::Design;
+/// use rana_core::evaluate::Evaluator;
+/// use rana_edram::ThermalModel;
+///
+/// let eval = Evaluator::paper_platform();
+/// let net = rana_zoo::alexnet();
+/// let design = Design::RanaStarE5;
+/// let config = AdaptiveConfig::for_design(design, FallbackPolicy::Reschedule, 42);
+/// let mut rt = AdaptiveRuntime::new(&eval, &net, design, ThermalModel::embedded_65nm(), config);
+///
+/// let pass = rt.run_pass(); // one inference pass: sense → derate → retune
+/// assert!(pass.energy.total_j() > 0.0);
+/// assert!(rt.temp_c() > 45.0, "compute heats the die above ambient");
+/// let report = rt.report();
+/// assert_eq!(report.passes.len(), 1);
+/// ```
 #[derive(Debug)]
 pub struct AdaptiveRuntime {
     cfg: AcceleratorConfig,

@@ -11,10 +11,21 @@
 //! $ rana-compile vgg --design rana-star --capacity 2.0 --json out.json
 //! $ rana-compile alexnet --summary
 //! ```
+//!
+//! The `precompile` subcommand batch-compiles a network zoo across
+//! design points, bank partitions, and thermal-ladder rungs into a
+//! persistent schedule store (see `docs/SCHEDULE_CACHE.md`) that
+//! `rana-serve` and `rana-fleet` warm-start from:
+//!
+//! ```console
+//! $ rana-compile precompile --out store.jsonl
+//! $ rana-compile precompile --networks alexnet,googlenet --banks 22,44 --out store.jsonl
+//! ```
 
 use rana_core::config_gen::LayerwiseConfig;
 use rana_core::designs::Design;
 use rana_core::evaluate::Evaluator;
+use rana_core::store::{precompile, PrecompileSpec, ScheduleStore};
 use rana_zoo::Network;
 use std::process::ExitCode;
 
@@ -30,7 +41,21 @@ struct Args {
 
 const USAGE: &str = "usage: rana-compile <alexnet|vgg|googlenet|resnet|mobilenet> \
     [--design <s-id|ed-id|ed-od|rana0|rana-e5|rana-star>] \
-    [--capacity <factor>] [--input <pixels>] [--with-fc] [--json <path>] [--summary]";
+    [--capacity <factor>] [--input <pixels>] [--with-fc] [--json <path>] [--summary]\n\
+       rana-compile precompile --out <path> [--networks <a,b,..|all>] [--designs <a,b,..>] \
+    [--banks <n,n,..>] [--octaves <n>] [--steps <n>] [--weight <f>]";
+
+fn parse_design(v: &str) -> Result<Design, String> {
+    match v {
+        "s-id" => Ok(Design::SId),
+        "ed-id" => Ok(Design::EdId),
+        "ed-od" => Ok(Design::EdOd),
+        "rana0" => Ok(Design::Rana0),
+        "rana-e5" => Ok(Design::RanaE5),
+        "rana-star" => Ok(Design::RanaStarE5),
+        other => Err(format!("unknown design '{other}'")),
+    }
+}
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
@@ -47,16 +72,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--design" => {
-                let v = args.next().ok_or("--design needs a value")?;
-                out.design = match v.as_str() {
-                    "s-id" => Design::SId,
-                    "ed-id" => Design::EdId,
-                    "ed-od" => Design::EdOd,
-                    "rana0" => Design::Rana0,
-                    "rana-e5" => Design::RanaE5,
-                    "rana-star" => Design::RanaStarE5,
-                    other => return Err(format!("unknown design '{other}'")),
-                };
+                out.design = parse_design(&args.next().ok_or("--design needs a value")?)?;
             }
             "--capacity" => {
                 out.capacity_factor = args
@@ -105,7 +121,96 @@ fn load_network(name: &str, input_hw: Option<usize>, with_fc: bool) -> Result<Ne
     }
 }
 
+/// Parses and runs `rana-compile precompile ...` (argv after the
+/// subcommand name).
+fn run_precompile(mut args: std::env::Args) -> Result<(), String> {
+    let mut out_path: Option<String> = None;
+    let mut networks = vec!["alexnet".to_string(), "googlenet".to_string(), "resnet".to_string()];
+    let mut spec = PrecompileSpec::default();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => out_path = Some(args.next().ok_or("--out needs a path")?),
+            "--networks" => {
+                let v = args.next().ok_or("--networks needs a value")?;
+                networks = if v == "all" {
+                    ["alexnet", "googlenet", "vgg", "resnet", "mobilenet"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect()
+                } else {
+                    v.split(',').map(|s| s.trim().to_string()).collect()
+                };
+            }
+            "--designs" => {
+                let v = args.next().ok_or("--designs needs a value")?;
+                spec.designs =
+                    v.split(',').map(|s| parse_design(s.trim())).collect::<Result<_, _>>()?;
+            }
+            "--banks" => {
+                let v = args.next().ok_or("--banks needs a value")?;
+                spec.bank_counts = v
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("bad bank count: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--octaves" => {
+                spec.ladder_octaves = args
+                    .next()
+                    .ok_or("--octaves needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad octave count: {e}"))?;
+            }
+            "--steps" => {
+                spec.ladder_steps_per_octave = args
+                    .next()
+                    .ok_or("--steps needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad step count: {e}"))?;
+            }
+            "--weight" => {
+                spec.reschedule_refresh_weight = args
+                    .next()
+                    .ok_or("--weight needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad refresh weight: {e}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    let out_path = out_path.ok_or(format!("precompile needs --out <path>\n{USAGE}"))?;
+    let nets: Vec<Network> =
+        networks.iter().map(|n| load_network(n, None, false)).collect::<Result<_, _>>()?;
+
+    let eval = Evaluator::paper_platform();
+    let mut store = ScheduleStore::new();
+    let stats = precompile(&eval, &nets, &spec, &mut store);
+    store.save(std::path::Path::new(&out_path)).map_err(|e| e.to_string())?;
+    println!(
+        "# precompiled {} entries ({} searches, {} rungs/point) for {} networks × {} designs → {}",
+        store.len(),
+        stats.searches,
+        stats.rungs,
+        nets.len(),
+        spec.designs.len(),
+        out_path
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("precompile") {
+        let mut args = std::env::args();
+        args.next();
+        args.next();
+        return match run_precompile(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {

@@ -38,6 +38,25 @@ pub struct NetworkEnergy {
 /// shapes another design point already searched under the same context,
 /// reuses the finished searches. Results are bit-identical to the serial
 /// scheduler — the cache key covers everything a search depends on.
+///
+/// # Example
+///
+/// ```
+/// use rana_core::designs::Design;
+/// use rana_core::evaluate::Evaluator;
+///
+/// let eval = Evaluator::paper_platform();
+/// let net = rana_zoo::alexnet();
+/// let sram = eval.evaluate(&net, Design::SId);        // equal-area SRAM baseline
+/// let rana = eval.evaluate(&net, Design::RanaStarE5); // full RANA
+/// assert!(rana.total.total_j() < sram.total.total_j());
+///
+/// // The memo cache is shared: re-evaluating costs no new searches.
+/// let misses = eval.cache().misses();
+/// let again = eval.evaluate(&net, Design::RanaStarE5);
+/// assert_eq!(again, rana);
+/// assert_eq!(eval.cache().misses(), misses);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Evaluator {
     sram_cfg: AcceleratorConfig,

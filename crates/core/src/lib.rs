@@ -33,6 +33,8 @@
 //! assert!(sram.total.refresh_j == 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub use rana_metrics as metrics;
 pub use rana_policy as policy;
 pub use rana_trace as trace;
@@ -47,6 +49,7 @@ pub mod par;
 pub mod report;
 pub mod runtime;
 pub mod scheduler;
+pub mod store;
 pub mod training_stage;
 
 pub use adaptive::{
@@ -58,3 +61,6 @@ pub use evaluate::{Evaluator, NetworkEnergy};
 pub use exec_batch::{execute_layer_batch, BatchSummary};
 pub use par::{par_map, par_map_with, thread_count, ScheduleCache};
 pub use scheduler::{LayerSchedule, NetworkSchedule, Scheduler};
+pub use store::{
+    precompile, PrecompileSpec, PrecompileStats, ScheduleStore, StoreEntry, StoreError,
+};

@@ -115,11 +115,29 @@ const SHARDS: usize = 16;
 /// Cached values carry the name of the first layer that produced them;
 /// readers patch in their own layer name (shapes are shared, names are
 /// not).
+///
+/// Entries arrive through two doors: [`insert`](Self::insert) stores a
+/// search the process just ran, while [`preload`](Self::preload) stores
+/// a *warm* entry deserialized from a persistent
+/// [`ScheduleStore`](crate::store::ScheduleStore). Warm entries are
+/// tracked separately ([`warm_len`](Self::warm_len),
+/// [`warm_hits`](Self::warm_hits)) so a serving run can report how much
+/// of its Stage-2 work the persistent store absorbed.
 #[derive(Debug, Default)]
 pub struct ScheduleCache {
-    shards: [Mutex<HashMap<u64, LayerSchedule>>; SHARDS],
+    shards: [Mutex<HashMap<u64, Slot>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+    warm_hits: AtomicU64,
+}
+
+/// One cache slot: the memoized search plus its provenance.
+#[derive(Debug, Clone)]
+struct Slot {
+    sched: LayerSchedule,
+    /// `true` when the entry was preloaded from a persistent store
+    /// rather than computed in-process.
+    warm: bool,
 }
 
 impl ScheduleCache {
@@ -128,7 +146,7 @@ impl ScheduleCache {
         Self::default()
     }
 
-    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, LayerSchedule>> {
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Slot>> {
         &self.shards[(key as usize) & (SHARDS - 1)]
     }
 
@@ -145,6 +163,9 @@ impl ScheduleCache {
         let hit = found.is_some();
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if found.as_ref().is_some_and(|s| s.warm) {
+                self.warm_hits.fetch_add(1, Ordering::Relaxed);
+            }
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
@@ -156,14 +177,31 @@ impl ScheduleCache {
                 hit,
             });
         }
-        found
+        found.map(|s| s.sched)
     }
 
     /// Stores a finished search. Last write wins; concurrent writers for
     /// the same key store identical values (the search is deterministic),
     /// so the race is benign.
     pub fn insert(&self, key: u64, value: LayerSchedule) {
-        self.shard(key).lock().expect("cache shard poisoned").insert(key, value);
+        self.shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, Slot { sched: value, warm: false });
+    }
+
+    /// Stores an entry deserialized from a persistent store, marking it
+    /// *warm* so hits on it are counted under [`warm_hits`](Self::warm_hits).
+    ///
+    /// A warm preload never displaces an in-process entry: the search is
+    /// deterministic, so an existing slot already holds the same value
+    /// and keeps its provenance.
+    pub fn preload(&self, key: u64, value: LayerSchedule) {
+        self.shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .entry(key)
+            .or_insert(Slot { sched: value, warm: true });
     }
 
     /// Entries currently stored.
@@ -176,6 +214,35 @@ impl ScheduleCache {
         self.len() == 0
     }
 
+    /// Entries that were preloaded from a persistent store.
+    pub fn warm_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").values().filter(|v| v.warm).count())
+            .sum()
+    }
+
+    /// Every `(key, schedule)` pair, sorted by key.
+    ///
+    /// The sort makes the listing deterministic regardless of shard
+    /// layout or insertion order — this is what a persistent store
+    /// serializes.
+    pub fn entries(&self) -> Vec<(u64, LayerSchedule)> {
+        let mut out: Vec<(u64, LayerSchedule)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .iter()
+                    .map(|(k, v)| (*k, v.sched.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
+
     /// Lookups that found an entry.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -184,6 +251,12 @@ impl ScheduleCache {
     /// Lookups that missed.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found a *warm* (store-preloaded) entry — Stage-2
+    /// searches the persistent store absorbed.
+    pub fn warm_hits(&self) -> u64 {
+        self.warm_hits.load(Ordering::Relaxed)
     }
 }
 
@@ -248,5 +321,20 @@ mod tests {
         let got = cache.get(42).expect("stored entry");
         assert_eq!(got, sched);
         assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+
+        // Preloaded entries are tracked as warm and count warm hits.
+        cache.preload(43, sched.clone());
+        assert_eq!((cache.len(), cache.warm_len()), (2, 1));
+        assert!(cache.get(43).is_some());
+        assert_eq!(cache.warm_hits(), 1);
+        // Hits on in-process entries do not count as warm.
+        assert!(cache.get(42).is_some());
+        assert_eq!(cache.warm_hits(), 1);
+        // A preload never displaces an in-process entry's provenance.
+        cache.preload(42, sched.clone());
+        assert_eq!(cache.warm_len(), 1);
+        // entries() lists everything sorted by key.
+        let keys: Vec<u64> = cache.entries().iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![42, 43]);
     }
 }

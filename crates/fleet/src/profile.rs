@@ -84,6 +84,12 @@ impl<'a> ProfileCache<'a> {
         Strategy::for_kind(self.kind)
     }
 
+    /// The evaluator whose shared schedule cache the profile searches
+    /// flow through.
+    pub fn eval(&self) -> &'a Evaluator {
+        self.eval
+    }
+
     /// The profile of one `tenant` inference at `interval_us` under
     /// `strategy` (`None` follows the design's controller kind; memoized).
     pub fn profile(
@@ -93,11 +99,27 @@ impl<'a> ProfileCache<'a> {
         interval_us: f64,
         strategy: Option<Strategy>,
     ) -> FleetProfile {
+        self.profile_with_stats(tenant, network, interval_us, strategy).0
+    }
+
+    /// [`Self::profile`] plus the number of *fresh* Stage-2 layer
+    /// searches building it cost (0 on a profile-memo hit, and 0 when
+    /// every layer search hit the evaluator's schedule cache — e.g.
+    /// after a warm start from a persistent
+    /// [`ScheduleStore`](rana_core::store::ScheduleStore)).
+    pub fn profile_with_stats(
+        &mut self,
+        tenant: usize,
+        network: &Network,
+        interval_us: f64,
+        strategy: Option<Strategy>,
+    ) -> (FleetProfile, u64) {
         let strategy = strategy.unwrap_or(Strategy::for_kind(self.kind));
         let key = (tenant, interval_us.to_bits(), strategy.memo_key());
         if let Some(p) = self.cache.get(&key) {
-            return p.clone();
+            return (p.clone(), 0);
         }
+        let misses_before = self.eval.cache().misses();
         let base = self.template.schedule_network_with(network, Some(self.eval.cache()), 1);
         let refresh_now = RefreshModel { interval_us, kind: self.kind };
         // Online reschedules hedge against further heating by overpricing
@@ -145,7 +167,7 @@ impl<'a> ProfileCache<'a> {
             p.weight_reload_words += chosen.sim.traffic.dram_weight_loads;
         }
         self.cache.insert(key, p.clone());
-        p
+        (p, self.eval.cache().misses() - misses_before)
     }
 
     /// Off-chip energy of one weight reload, joules (the per-batch term
@@ -176,6 +198,24 @@ mod tests {
         let tight = cache.profile(0, &net, nominal / 16.0, None);
         assert_eq!(cache.len(), 2);
         assert!(tight.refresh_words >= a.refresh_words);
+    }
+
+    #[test]
+    fn fresh_search_counts_vanish_once_the_schedule_cache_is_warm() {
+        let eval = Evaluator::paper_platform();
+        let template = eval.scheduler_for(Design::RanaStarE5);
+        let nominal = template.refresh.interval_us;
+        let mut cache = ProfileCache::new(&eval, template, 4.0);
+        let net = rana_zoo::alexnet();
+        let (_, fresh0) = cache.profile_with_stats(0, &net, nominal / 16.0, None);
+        assert!(fresh0 > 0, "a cold evaluator must run fresh searches");
+        // Another tenant of the same network at the same rung: new
+        // profile key, but every layer search hits the schedule cache.
+        let (_, fresh1) = cache.profile_with_stats(1, &net, nominal / 16.0, None);
+        assert_eq!(fresh1, 0);
+        // A profile-memo hit costs nothing by definition.
+        let (_, fresh2) = cache.profile_with_stats(0, &net, nominal / 16.0, None);
+        assert_eq!(fresh2, 0);
     }
 
     #[test]

@@ -149,6 +149,10 @@ pub struct FleetReport {
     pub batches: u64,
     /// Batches that paid the cold-schedule penalty.
     pub cold_schedules: u64,
+    /// Modeled time stalled on fresh Stage-2 searches, µs
+    /// (`compile_penalty_us` × fresh searches; always 0 at the default
+    /// penalty of 0, and near 0 for warm-started runs).
+    pub compile_stall_us: f64,
     /// Refresh-divider retunes across all dies.
     pub retunes: u64,
     /// Crash events applied.
@@ -275,7 +279,7 @@ impl FleetReport {
                 "\"traffic\":\"{}\",\"rate_rps\":{},\"seed\":{},\"horizon_us\":{},",
                 "\"offered\":{},\"served\":{},\"admission_drops\":{},\"deadline_drops\":{},",
                 "\"unroutable_drops\":{},\"late_served\":{},\"deadline_miss_rate\":{},",
-                "\"batches\":{},\"cold_schedules\":{},\"retunes\":{},",
+                "\"batches\":{},\"cold_schedules\":{},\"compile_stall_us\":{},\"retunes\":{},",
                 "\"die_failures\":{},\"die_drains\":{},\"rerouted_crash\":{},",
                 "\"rerouted_drain\":{},\"lost_in_flight\":{},\"wasted_j\":{},",
                 "\"offered_per_hour\":{},\"throughput_rps\":{},",
@@ -305,6 +309,7 @@ impl FleetReport {
             json_f64(self.deadline_miss_rate()),
             self.batches,
             self.cold_schedules,
+            json_f64(self.compile_stall_us),
             self.retunes,
             self.die_failures,
             self.die_drains,

@@ -107,6 +107,13 @@ pub struct FleetConfig {
     /// never run — the cold schedule-cache miss the affinity router
     /// avoids, µs.
     pub sched_penalty_us: f64,
+    /// Modeled stall per fresh Stage-2 layer search in the *simulator's*
+    /// profile builder, µs — the compile-time cost a persistent
+    /// [`ScheduleStore`](rana_core::store::ScheduleStore) warm start
+    /// removes. `0` (the default, and the committed-baseline behavior)
+    /// prices compilation as free. Distinct from `sched_penalty_us`,
+    /// which models the per-die warm-set fill.
+    pub compile_penalty_us: f64,
     /// Safety margin on the tolerable retention time (PR 3 semantics).
     pub retention_margin: f64,
     /// Temperature sensor resolution, °C (samples quantize up).
@@ -147,6 +154,7 @@ impl FleetConfig {
             queue_cap: 16,
             shard_size: None,
             sched_penalty_us: 5_000.0,
+            compile_penalty_us: 0.0,
             retention_margin: 0.85,
             sensor_quantum_c: 0.25,
             ladder_steps_per_octave: 4,
@@ -237,6 +245,7 @@ pub struct FleetSim<'a> {
     lost_in_flight: u64,
     batches: u64,
     cold_schedules: u64,
+    compile_stall_us: f64,
     retunes: u64,
 }
 
@@ -258,6 +267,7 @@ impl<'a> FleetSim<'a> {
         assert!(config.num_dies >= 1, "cluster must have at least one die");
         assert!(config.queue_cap >= 1, "queue cap must be at least 1");
         assert!(config.sched_penalty_us >= 0.0, "cold penalty must be non-negative");
+        assert!(config.compile_penalty_us >= 0.0, "compile penalty must be non-negative");
         assert!(
             config.retention_margin > 0.0 && config.retention_margin <= 1.0,
             "retention margin must be in (0, 1]"
@@ -349,6 +359,7 @@ impl<'a> FleetSim<'a> {
             lost_in_flight: 0,
             batches: 0,
             cold_schedules: 0,
+            compile_stall_us: 0.0,
             retunes: 0,
         }
     }
@@ -544,8 +555,20 @@ impl<'a> FleetSim<'a> {
         }
 
         let strategy = self.config.die_strategy(d, tn);
-        let profile =
-            self.profiles.profile(tn, &self.config.tenants[tn].network, interval_us, strategy);
+        let (profile, fresh) = self.profiles.profile_with_stats(
+            tn,
+            &self.config.tenants[tn].network,
+            interval_us,
+            strategy,
+        );
+        // Fresh Stage-2 searches behind this profile stall the dispatch
+        // (a warm-started schedule cache leaves `fresh == 0`).
+        let compile_stall_us = if self.config.compile_penalty_us > 0.0 {
+            fresh as f64 * self.config.compile_penalty_us
+        } else {
+            0.0
+        };
+        self.compile_stall_us += compile_stall_us;
         let reload_j = self.profiles.reload_j(&profile);
         let b = batch.len() as f64;
         // Weights stay resident across the batch: requests 2..B skip the
@@ -559,7 +582,9 @@ impl<'a> FleetSim<'a> {
         if energy.offchip_j < 0.0 {
             energy.offchip_j = 0.0;
         }
-        let time_us = profile.time_us * b + if cold { self.config.sched_penalty_us } else { 0.0 };
+        let time_us = profile.time_us * b
+            + if cold { self.config.sched_penalty_us } else { 0.0 }
+            + compile_stall_us;
         let power_w = energy.accelerator_j() / (time_us * 1e-6);
         let completion =
             self.events.schedule(t + time_us, CLASS_COMPLETION, FleetEvent::Completion { die: d });
@@ -761,6 +786,7 @@ impl<'a> FleetSim<'a> {
             late_served: tenants.iter().map(|t| t.late_served).sum(),
             batches: self.batches,
             cold_schedules: self.cold_schedules,
+            compile_stall_us: self.compile_stall_us,
             retunes: self.retunes,
             die_failures: self.die_failures,
             die_drains: self.die_drains,

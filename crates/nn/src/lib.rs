@@ -28,6 +28,8 @@
 //! assert!(acc > 0.2, "one epoch should beat random guessing, got {acc}");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod data;
 pub mod fault;
 pub mod layers;

@@ -27,6 +27,12 @@
 //! are already part of the key. Every (layer shape, partition size, rung)
 //! combination is searched at most once per [`rana_core::Evaluator`], and
 //! reused across requests, policies, and offered loads.
+//!
+//! Cold starts can additionally be priced (`ServeConfig::compile_penalty_us`)
+//! and eliminated by warm-starting the evaluator's cache from a persistent
+//! [`rana_core::store::ScheduleStore`] — see `docs/SCHEDULE_CACHE.md`.
+
+#![warn(missing_docs)]
 
 pub mod metrics;
 pub mod partition;

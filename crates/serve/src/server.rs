@@ -133,6 +133,13 @@ pub struct ServeConfig {
     /// Hedged refresh pricing for online reschedules (PR 3 semantics);
     /// accounting always uses the unweighted model.
     pub reschedule_refresh_weight: f64,
+    /// Modeled stall per fresh Stage-2 layer search, µs, charged once
+    /// when the op that needed it is first dispatched. `0` (the default,
+    /// and the committed-baseline behavior) prices compilation as free;
+    /// a positive value makes cold starts visible in tail latency —
+    /// searches absorbed by a warm-started schedule cache (see
+    /// `rana_core::store`) are never charged.
+    pub compile_penalty_us: f64,
 }
 
 impl ServeConfig {
@@ -157,6 +164,7 @@ impl ServeConfig {
             ladder_steps_per_octave: 4,
             throttle_temp_c: 85.0,
             reschedule_refresh_weight: 4.0,
+            compile_penalty_us: 0.0,
         }
     }
 }
@@ -238,6 +246,9 @@ pub struct Server<'a> {
     base_tolerable_us: f64,
     tenants: Vec<TenantRuntime>,
     op_cache: HashMap<(usize, usize, u64), OpSchedule>,
+    /// Fresh Stage-2 searches each op profile cost when it was built,
+    /// consumed (and charged as a modeled stall) at its first dispatch.
+    op_fresh: HashMap<(usize, usize, u64), u64>,
     energy_curve: HashMap<(usize, usize), f64>,
     now_us: f64,
     temp_c: f64,
@@ -245,6 +256,7 @@ pub struct Server<'a> {
     min_interval_us: f64,
     idle_us: f64,
     throttle_us: f64,
+    compile_stall_us: f64,
     rebalances: u64,
     energy: EnergyBreakdown,
     refresh_words: u64,
@@ -319,6 +331,7 @@ impl<'a> Server<'a> {
             template,
             tenants,
             op_cache: HashMap::new(),
+            op_fresh: HashMap::new(),
             energy_curve: HashMap::new(),
             now_us: 0.0,
             temp_c: thermal.ambient_c,
@@ -326,6 +339,7 @@ impl<'a> Server<'a> {
             min_interval_us: nominal_rung_us,
             idle_us: 0.0,
             throttle_us: 0.0,
+            compile_stall_us: 0.0,
             rebalances: 0,
             energy: EnergyBreakdown::default(),
             refresh_words: 0,
@@ -351,6 +365,7 @@ impl<'a> Server<'a> {
         if let Some(op) = self.op_cache.get(&key) {
             return op.clone();
         }
+        let misses_before = self.eval.cache().misses();
         let mut nominal = self.template.clone();
         nominal.cfg.buffer.num_banks = banks;
         let base =
@@ -404,6 +419,10 @@ impl<'a> Server<'a> {
             op.energy += energy;
             op.refresh_words += words;
             op.weight_reload_words += chosen.sim.traffic.dram_weight_loads;
+        }
+        let fresh = self.eval.cache().misses() - misses_before;
+        if fresh > 0 {
+            self.op_fresh.insert(key, fresh);
         }
         self.op_cache.insert(key, op.clone());
         op
@@ -531,6 +550,17 @@ impl<'a> Server<'a> {
 
         let banks = self.tenants[tenant].banks;
         let op = self.op_schedule(tenant, banks, interval_us);
+        // First dispatch of a freshly-compiled op pays the modeled
+        // compile stall: the die sits unpowered while Stage-2 searches
+        // run. Warm-started caches leave nothing to charge.
+        if self.config.compile_penalty_us > 0.0 {
+            if let Some(fresh) = self.op_fresh.remove(&(tenant, banks, interval_us.to_bits())) {
+                let stall = fresh as f64 * self.config.compile_penalty_us;
+                self.temp_c = self.thermal.step(self.temp_c, 0.0, stall);
+                self.now_us += stall;
+                self.compile_stall_us += stall;
+            }
+        }
         let b = batch.len() as f64;
 
         if rana_trace::enabled() {
@@ -772,6 +802,7 @@ impl<'a> Server<'a> {
             makespan_us: self.now_us,
             idle_us: self.idle_us,
             throttle_us: self.throttle_us,
+            compile_stall_us: self.compile_stall_us,
             latency: LatencyStats::of(&mut all),
             queue_wait: LatencyStats::of(&mut all_waits),
             energy: self.energy,
@@ -908,6 +939,10 @@ pub struct ServeReport {
     pub idle_us: f64,
     /// Idle time inserted by the thermal throttle, µs.
     pub throttle_us: f64,
+    /// Modeled time spent stalled on fresh Stage-2 searches, µs
+    /// (`compile_penalty_us` × fresh searches; always 0 at the default
+    /// penalty of 0, and near 0 for warm-started runs).
+    pub compile_stall_us: f64,
     /// Latency order statistics over all served requests.
     pub latency: LatencyStats,
     /// Queue-wait (arrival → dispatch) statistics over all served
@@ -985,7 +1020,7 @@ impl ServeReport {
                 "\"offered\":{},\"served\":{},\"admission_drops\":{},\"deadline_drops\":{},",
                 "\"batches\":{},\"retunes\":{},\"rescheduled_layer_execs\":{},\"rebalances\":{},",
                 "\"late_served\":{},\"deadline_miss_rate\":{},",
-                "\"makespan_us\":{},\"idle_us\":{},\"throttle_us\":{},",
+                "\"makespan_us\":{},\"idle_us\":{},\"throttle_us\":{},\"compile_stall_us\":{},",
                 "\"throughput_rps\":{},\"latency\":{},\"queue_wait\":{},",
                 "\"energy\":{{\"computing_j\":{},\"buffer_j\":{},\"refresh_j\":{},\"offchip_j\":{}}},",
                 "\"energy_per_inference_j\":{},\"refresh_share\":{},\"refresh_words\":{},",
@@ -1012,6 +1047,7 @@ impl ServeReport {
             json_f64(self.makespan_us),
             json_f64(self.idle_us),
             json_f64(self.throttle_us),
+            json_f64(self.compile_stall_us),
             json_f64(self.throughput_rps()),
             self.latency.to_json(),
             self.queue_wait.to_json(),
@@ -1136,6 +1172,26 @@ mod tests {
         // Log-linear buckets bound the histogram p99's relative error.
         let p99 = lat.quantile(0.99).unwrap();
         assert!((p99 - r.latency.p99_us).abs() / r.latency.p99_us < 0.01, "{p99}");
+    }
+
+    #[test]
+    fn compile_penalty_charges_cold_runs_only() {
+        let eval = Evaluator::paper_platform();
+        // Two tenants split the buffer 22/22, so the first run must
+        // compile fresh schedules at a partition size nothing warmed.
+        let specs = || {
+            vec![
+                TenantSpec::new(rana_zoo::alexnet(), 0.6),
+                TenantSpec::new(rana_zoo::alexnet(), 0.4),
+            ]
+        };
+        let mut cfg = quick_config(5);
+        cfg.compile_penalty_us = 1_000.0;
+        let cold = Server::new(&eval, specs(), cfg.clone()).run();
+        assert!(cold.compile_stall_us > 0.0, "cold start must pay compile stalls");
+        assert!(cold.to_json().contains("\"compile_stall_us\""));
+        let warm = Server::new(&eval, specs(), cfg).run();
+        assert_eq!(warm.compile_stall_us, 0.0, "a warm cache leaves nothing to charge");
     }
 
     #[test]

@@ -40,6 +40,17 @@ serve-smoke:
     cargo build --release -p rana-bench
     ./target/release/exp_serve --smoke
 
+# Precompile the smoke-scenario schedule store (see docs/SCHEDULE_CACHE.md).
+precompile:
+    cargo build --release -p rana-core
+    ./target/release/rana-compile precompile --networks alexnet,googlenet \
+        --banks 22,44 --out target/schedule_store.jsonl
+
+# Store-backed serving smoke run: warm-start from the precompiled store.
+serve-smoke-warm: precompile
+    cargo build --release -p rana-bench
+    ./target/release/exp_serve --smoke --store target/schedule_store.jsonl
+
 # Metrics smoke run (bridged sweep + serve pass, writes nothing).
 metrics-smoke:
     cargo build --release -p rana-bench

@@ -23,11 +23,24 @@ cargo test -q --features simd --test exec_kernel_equivalence
 echo "== rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+echo "== docs-tree link check =="
+for doc in docs/*.md; do
+    if ! grep -q "$(basename "$doc")" README.md; then
+        echo "error: $doc is not referenced from README.md" >&2
+        exit 1
+    fi
+done
+
 echo "== scheduler engine benchmark =="
 ./target/release/exp_bench_sched
 
 echo "== serving smoke test =="
 ./target/release/exp_serve --smoke
+
+echo "== schedule-store precompile + warm-start smoke test =="
+./target/release/rana-compile precompile --networks alexnet,googlenet \
+    --banks 22,44 --out target/schedule_store.jsonl
+./target/release/exp_serve --smoke --store target/schedule_store.jsonl
 
 echo "== metrics smoke test =="
 ./target/release/exp_metrics --smoke
